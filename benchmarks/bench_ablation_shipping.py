@@ -1,0 +1,25 @@
+"""Ablation — the §V-A log-shipping optimisations, one at a time.
+
+Paper narrative: GlobalDB closes the Three-City gap by compressing redo
+with LZ4, using TCP BBR congestion control, and disabling Nagle's
+algorithm. We run Three-City TPC-C under *synchronous* replication (where
+shipping latency sits on the commit path) with each knob toggled.
+"""
+
+from conftest import record_table
+
+from repro.bench import Scale, ablation_log_shipping
+
+
+def test_ablation_log_shipping(benchmark):
+    table = benchmark.pedantic(ablation_log_shipping, args=(Scale.from_env(),),
+                               rounds=1, iterations=1)
+    record_table(benchmark, table)
+    rows = {row[0]: row for row in table.rows}
+    stock = rows["stock (none+cubic+nagle)"]
+    optimized = rows["optimized (lz4+bbr+off)"]
+    # The full stack beats stock on throughput and ships fewer bytes.
+    assert optimized[1] >= stock[1]
+    assert optimized[3] < stock[3]
+    # LZ4 alone shrinks wire bytes by > 2x.
+    assert rows["+lz4"][4] > 2.0

@@ -1,0 +1,23 @@
+"""Fig. 1a — motivation: baseline OLTP throughput vs geographic spread.
+
+Paper: "Fig. 1a shows how OLTP performance degrades as the system spans
+across more distant regions." We sweep a 3-region chain from same-rack to
+distant-city hop latencies under the baseline (GTM + synchronous
+replication) configuration.
+"""
+
+from conftest import record_table
+
+from repro.bench import Scale, fig1a_motivation
+
+
+def test_fig1a_motivation(benchmark):
+    table = benchmark.pedantic(fig1a_motivation, args=(Scale.from_env(),),
+                               rounds=1, iterations=1)
+    record_table(benchmark, table)
+    normalized = table.column("normalized")
+    # The curve must fall steeply and monotonically with distance.
+    assert normalized[0] == 1.0
+    assert all(later <= earlier for earlier, later
+               in zip(normalized, normalized[1:]))
+    assert normalized[-1] < 0.5

@@ -1,0 +1,25 @@
+"""Fig. 6a — full TPC-C: {baseline, GlobalDB} x {One-Region, Three-City}.
+
+Paper: moving the baseline to Three-City costs about two thirds of its
+throughput; GlobalDB recovers to ~91% of One-Region and pays no penalty
+when deployed on One-Region.
+"""
+
+from conftest import record_table
+
+from repro.bench import Scale, fig6a_tpcc_geo
+
+
+def test_fig6a_tpcc_geo(benchmark):
+    table = benchmark.pedantic(fig6a_tpcc_geo, args=(Scale.from_env(),),
+                               rounds=1, iterations=1)
+    record_table(benchmark, table)
+    by_config = {(row[0], row[1]): row[3] for row in table.rows}
+    # Baseline collapses on Three-City...
+    assert by_config[("baseline", "three-city")] < 0.55
+    # ...GlobalDB recovers most of it...
+    assert by_config[("globaldb", "three-city")] > 2 * by_config[
+        ("baseline", "three-city")]
+    assert by_config[("globaldb", "three-city")] > 0.6
+    # ...and costs nothing on One-Region.
+    assert by_config[("globaldb", "one-region")] > 0.95

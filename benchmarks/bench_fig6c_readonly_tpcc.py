@@ -1,0 +1,22 @@
+"""Fig. 6c — read-only TPC-C (Order-Status + Stock-Level) vs delay.
+
+Paper: with 50% multi-shard read transactions, GlobalDB's reads-on-replica
+deliver up to 14x the baseline's read throughput.
+"""
+
+from conftest import record_table
+
+from repro.bench import Scale, fig6c_readonly_tpcc
+
+
+def test_fig6c_readonly_tpcc(benchmark):
+    table = benchmark.pedantic(fig6c_readonly_tpcc, args=(Scale.from_env(),),
+                               rounds=1, iterations=1)
+    record_table(benchmark, table)
+    speedups = table.column("speedup")
+    # Parity at zero delay, then a widening gap as delay grows.
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 5.0
+    # GlobalDB itself must not degrade with delay (reads stay local).
+    globaldb = table.column("globaldb_tps")
+    assert min(globaldb) > 0.7 * max(globaldb)

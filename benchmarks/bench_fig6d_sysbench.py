@@ -1,0 +1,21 @@
+"""Fig. 6d — Sysbench point select vs delay (2/3 remote tuples).
+
+Paper: GlobalDB improves Sysbench read throughput by up to 8.9x over the
+baseline thanks to reading from local replicas.
+"""
+
+from conftest import record_table
+
+from repro.bench import Scale, fig6d_sysbench_point_select
+
+
+def test_fig6d_sysbench_point_select(benchmark):
+    table = benchmark.pedantic(fig6d_sysbench_point_select,
+                               args=(Scale.from_env(),),
+                               rounds=1, iterations=1)
+    record_table(benchmark, table)
+    speedups = table.column("speedup")
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 4.0
+    globaldb = table.column("globaldb_tps")
+    assert min(globaldb) > 0.7 * max(globaldb)  # flat under delay

@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one experiment from :mod:`repro.bench.experiments`,
+records the resulting table in pytest-benchmark's ``extra_info``, saves it
+under ``benchmarks/results/``, and the terminal-summary hook prints every
+table at the end of the run so `pytest benchmarks/ --benchmark-only` output
+contains the paper-style numbers directly.
+
+Scale: set ``REPRO_BENCH_SCALE=full`` for paper-scale clients (600
+terminals); the default ``quick`` keeps the suite in minutes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_TABLES: list = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_table(benchmark, table) -> None:
+    """Attach an ExperimentTable to a benchmark and queue it for printing."""
+    benchmark.extra_info["experiment"] = table.to_dict()
+    _TABLES.append(table)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    slug = "".join(ch if ch.isalnum() else "_" for ch in table.experiment)[:60]
+    (_RESULTS_DIR / f"{slug}.txt").write_text(table.render() + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables")
+    for table in _TABLES:
+        terminalreporter.write_line(table.render())
+        terminalreporter.write_line("")

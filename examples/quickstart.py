@@ -1,0 +1,62 @@
+"""Quickstart: a geo-distributed GlobalDB cluster in a few lines.
+
+Builds the paper's Three-City cluster (Xi'an / Langzhong / Dongguan),
+creates a table over SQL, writes from one city, and reads — with guaranteed
+consistency — from asynchronous replicas in another city. Finishes with a
+live GClock -> GTM -> GClock round trip to show the zero-downtime
+transition.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterConfig, TxnMode, build_cluster, three_city
+
+
+def main() -> None:
+    db = build_cluster(ClusterConfig.globaldb(three_city()))
+    print(f"cluster up: {len(db.cns)} CNs, {len(db.primaries)} primary DNs, "
+          f"{sum(len(r) for r in db.replicas.values())} replica DNs, "
+          f"txn mode = {db.cns[0].mode}")
+
+    # --- DDL + writes from Xi'an ---------------------------------------
+    xian = db.session(region="xian")
+    xian.execute("CREATE TABLE inventory (sku INT PRIMARY KEY, "
+                 "name TEXT, stock INT)")
+    xian.execute("INSERT INTO inventory (sku, name, stock) VALUES "
+                 "(1, 'kunpeng-920', 40), (2, 'taishan-2480', 12), "
+                 "(3, 'atlas-800', 7)")
+    print("loaded 3 SKUs from the Xi'an session")
+
+    # --- let async replication and the RCP catch up --------------------
+    db.run_for(0.5)
+
+    # --- consistent reads on replicas from Dongguan --------------------
+    dongguan = db.session(region="dongguan")
+    rows = dongguan.execute("SELECT * FROM inventory WHERE sku = 2")
+    print(f"read from Dongguan: {rows[0]}")
+    print(f"Dongguan CN's Replica Consistency Point: {dongguan.rcp} "
+          f"(reads at this timestamp are consistent across all shards)")
+    print(f"replica reads so far: {dongguan.cn.ror_reads}, "
+          f"primary fallbacks: {dongguan.cn.primary_fallback_reads}")
+
+    # --- read-modify-write pushed down as one atomic statement ---------
+    xian.execute("UPDATE inventory SET stock = stock - 1 WHERE sku = 2")
+    fresh = xian.execute("SELECT stock FROM inventory WHERE sku = 2")
+    print(f"after a sale, Xi'an reads its own write immediately: {fresh[0]}")
+
+    # --- zero-downtime transition to centralized management ------------
+    report = db.migrate_to_gtm()
+    print(f"migrated to GTM mode in "
+          f"{report.duration_ns / 1e6:.1f} ms of simulated time "
+          f"(mode now {db.gtm.mode}, no transactions aborted)")
+    back = db.migrate_to_gclock()
+    print(f"and back to GClock (dwell: {back.dwell_ns / 1e3:.0f} us = "
+          f"2 x max clock error bound, per Fig. 2)")
+
+    xian.execute("UPDATE inventory SET stock = stock + 100 WHERE sku = 3")
+    print("writes keep flowing after two live migrations:",
+          xian.execute("SELECT * FROM inventory WHERE sku = 3")[0])
+
+
+if __name__ == "__main__":
+    main()

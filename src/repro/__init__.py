@@ -1,0 +1,71 @@
+"""GaussDB-Global reproduction (ICDE 2024).
+
+A simulated, sharded, geographically distributed OLTP database with:
+
+- decentralized GClock transaction management with commit-wait, a
+  centralized GTM mode, and a zero-downtime bidirectional transition
+  between them via DUAL mode (§III);
+- asynchronous physical replication with consistent reads on replicas at
+  the Replica Consistency Point, tunable freshness, and skyline-based node
+  selection (§IV);
+- the paper's evaluation workloads (TPC-C, Sysbench) and a benchmark
+  harness regenerating every figure of §V.
+
+Quickstart::
+
+    from repro import ClusterConfig, build_cluster, three_city
+
+    db = build_cluster(ClusterConfig.globaldb(three_city()))
+    session = db.session(region="xian")
+    session.create_table("t", [("k", "int"), ("v", "text")],
+                         primary_key=["k"])
+    session.begin()
+    session.insert("t", {"k": 1, "v": "hello"})
+    session.commit()
+    db.run_for(0.1)  # let replication catch up
+    print(session.read_only("t", (1,)))
+"""
+
+from repro.cluster import (
+    ClusterConfig,
+    GlobalDB,
+    Session,
+    Topology,
+    build_cluster,
+    one_region,
+    three_city,
+    two_region,
+)
+from repro.errors import (
+    ReproError,
+    StalenessBoundError,
+    TransactionAborted,
+    WriteConflict,
+)
+from repro.replication import ReplicationPolicy, ShipperConfig
+from repro.storage import ColumnDef, DistributionSpec, TableSchema
+from repro.txn import TxnMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_cluster",
+    "ClusterConfig",
+    "GlobalDB",
+    "Session",
+    "Topology",
+    "one_region",
+    "two_region",
+    "three_city",
+    "TxnMode",
+    "ReplicationPolicy",
+    "ShipperConfig",
+    "TableSchema",
+    "ColumnDef",
+    "DistributionSpec",
+    "ReproError",
+    "TransactionAborted",
+    "WriteConflict",
+    "StalenessBoundError",
+    "__version__",
+]

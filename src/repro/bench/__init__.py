@@ -1,0 +1,33 @@
+"""Benchmark harness: experiment definitions for every figure in §V.
+
+Each experiment function builds the cluster(s), runs the workload, and
+returns an :class:`~repro.bench.harness.ExperimentTable` with the same
+rows/series the paper reports. The ``benchmarks/`` pytest-benchmark suite
+is a thin wrapper that runs these and prints the tables; they can also be
+called directly (see ``examples/``).
+"""
+
+from repro.bench.harness import ExperimentTable, Scale
+from repro.bench.experiments import (
+    fig1a_motivation,
+    fig6a_tpcc_geo,
+    fig6b_tpcc_delay,
+    fig6c_readonly_tpcc,
+    fig6d_sysbench_point_select,
+    migration_under_load,
+    ablation_log_shipping,
+    ablation_ror,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "Scale",
+    "fig1a_motivation",
+    "fig6a_tpcc_geo",
+    "fig6b_tpcc_delay",
+    "fig6c_readonly_tpcc",
+    "fig6d_sysbench_point_select",
+    "migration_under_load",
+    "ablation_log_shipping",
+    "ablation_ror",
+]

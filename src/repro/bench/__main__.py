@@ -1,0 +1,73 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench fig6a
+    python -m repro.bench fig6d --scale full
+    python -m repro.bench all
+
+Each experiment prints the same paper-style table the benchmark suite
+records, without pytest in the way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import (
+    Scale,
+    ablation_log_shipping,
+    ablation_ror,
+    fig1a_motivation,
+    fig6a_tpcc_geo,
+    fig6b_tpcc_delay,
+    fig6c_readonly_tpcc,
+    fig6d_sysbench_point_select,
+    migration_under_load,
+)
+
+EXPERIMENTS = {
+    "fig1a": fig1a_motivation,
+    "fig6a": fig6a_tpcc_geo,
+    "fig6b": fig6b_tpcc_delay,
+    "fig6c": fig6c_readonly_tpcc,
+    "fig6d": fig6d_sysbench_point_select,
+    "migration": migration_under_load,
+    "shipping": ablation_log_shipping,
+    "ror": ablation_ror,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce GaussDB-Global's evaluation figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "list"],
+                        help="which experiment to run")
+    parser.add_argument("--scale", choices=["quick", "full"], default="quick",
+                        help="client scale (default: quick)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, fn in sorted(EXPERIMENTS.items()):
+            doc_lines = (fn.__doc__ or "").strip().splitlines()
+            summary = doc_lines[0] if doc_lines else fn.__name__
+            print(f"{name:10s} {summary}")
+        return 0
+
+    scale = Scale.full() if args.scale == "full" else Scale.quick()
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        table = EXPERIMENTS[name](scale)
+        print(table.render())
+        print(f"   ({time.time() - started:.1f}s wall)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

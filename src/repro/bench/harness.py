@@ -1,0 +1,99 @@
+"""Experiment scaffolding: scales, result tables, and pretty-printing."""
+
+from __future__ import annotations
+
+import os
+import typing
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How big to run an experiment.
+
+    ``quick`` keeps the whole suite in minutes; ``full`` approximates the
+    paper's client scale (600 terminals) at the cost of longer wall time.
+    Select with the ``REPRO_BENCH_SCALE`` environment variable.
+    """
+
+    name: str
+    warehouses: int
+    terminals: int
+    duration_s: float
+    warmup_s: float
+
+    @classmethod
+    def quick(cls) -> "Scale":
+        return cls(name="quick", warehouses=12, terminals=120,
+                   duration_s=1.5, warmup_s=0.4)
+
+    @classmethod
+    def full(cls) -> "Scale":
+        return cls(name="full", warehouses=24, terminals=600,
+                   duration_s=2.5, warmup_s=0.6)
+
+    @classmethod
+    def from_env(cls) -> "Scale":
+        choice = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+        return cls.full() if choice == "full" else cls.quick()
+
+
+@dataclass
+class ExperimentTable:
+    """One paper table/figure's reproduced data."""
+
+    experiment: str
+    paper_claim: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def cell(self, row: int, column: str):
+        return self.rows[row][self.columns.index(column)]
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Paper-style fixed-width table."""
+        headers = [str(column) for column in self.columns]
+        body = [[_fmt(value) for value in row] for row in self.rows]
+        widths = [max(len(headers[i]), *(len(row[i]) for row in body))
+                  if body else len(headers[i]) for i in range(len(headers))]
+        lines = [f"== {self.experiment} ==",
+                 f"   paper: {self.paper_claim}"]
+        lines.append("   " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("   " + "  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("   " + "  ".join(cell.rjust(w)
+                                           for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """For pytest-benchmark's extra_info (must be JSON-serializable)."""
+        return {
+            "experiment": self.experiment,
+            "paper_claim": self.paper_claim,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+
+def _fmt(value: typing.Any) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

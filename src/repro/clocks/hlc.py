@@ -1,0 +1,65 @@
+"""Hybrid Logical Clock (Kulkarni et al., OPODIS 2014).
+
+Included as the comparator timestamping scheme used by CockroachDB and
+YugabyteDB (§II-C): strictly monotonic timestamps combining a physical
+component with a logical counter, advanced on every local event and on every
+received remote timestamp. GlobalDB itself does not use HLC; the benchmark
+suite uses it to contrast commit-wait (GClock) against causality-tracking
+(HLC) designs in the ablation discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocks.physical import PhysicalClock
+
+
+@dataclass(frozen=True, order=True)
+class HlcTimestamp:
+    """An HLC timestamp: (physical ns, logical counter)."""
+
+    physical: int
+    logical: int
+
+    def pack(self) -> int:
+        """Pack into a single comparable integer (physical << 16 | logical)."""
+        return (self.physical << 16) | (self.logical & 0xFFFF)
+
+
+class HybridLogicalClock:
+    """Per-node HLC instance."""
+
+    def __init__(self, clock: PhysicalClock):
+        self.clock = clock
+        self._last = HlcTimestamp(0, 0)
+
+    @property
+    def last(self) -> HlcTimestamp:
+        return self._last
+
+    def now(self) -> HlcTimestamp:
+        """Advance for a local event and return the new timestamp."""
+        physical = self.clock.read()
+        if physical > self._last.physical:
+            self._last = HlcTimestamp(physical, 0)
+        else:
+            self._last = HlcTimestamp(self._last.physical, self._last.logical + 1)
+        return self._last
+
+    def update(self, remote: HlcTimestamp) -> HlcTimestamp:
+        """Merge a received timestamp and return the advanced local value."""
+        physical = self.clock.read()
+        top = max(physical, self._last.physical, remote.physical)
+        if top == physical and top > self._last.physical and top > remote.physical:
+            logical = 0
+        elif top == self._last.physical and top == remote.physical:
+            logical = max(self._last.logical, remote.logical) + 1
+        elif top == self._last.physical:
+            logical = self._last.logical + 1
+        elif top == remote.physical:
+            logical = remote.logical + 1
+        else:
+            logical = 0
+        self._last = HlcTimestamp(top, logical)
+        return self._last

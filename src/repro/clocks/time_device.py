@@ -1,0 +1,46 @@
+"""The regional global time device (GPS receiver + atomic clock).
+
+The paper deploys one per regional cluster; it reports time accurate to
+within nanoseconds of real time. We model it as an oracle for true time with
+a configurable (tiny) accuracy, plus failure injection: a failed device
+stops answering sync requests, which makes dependent clocks' error bounds
+grow until the cluster falls back to GTM mode (§III-A, Fig. 3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ClockError
+from repro.sim.core import Environment
+
+
+class GlobalTimeDevice:
+    """A GPS + atomic-clock time source for one region."""
+
+    def __init__(self, env: Environment, region: str, rng: random.Random | None = None,
+                 accuracy_ns: int = 50):
+        self.env = env
+        self.region = region
+        self.accuracy_ns = accuracy_ns
+        self._rng = rng or random.Random(0)
+        self.failed = False
+        self.queries = 0
+
+    def query(self) -> int:
+        """Report the current time (within ``accuracy_ns`` of true time).
+
+        Raises :class:`ClockError` if the device has failed.
+        """
+        if self.failed:
+            raise ClockError(f"time device in region {self.region!r} has failed")
+        self.queries += 1
+        return self.env.now + self._rng.randint(-self.accuracy_ns, self.accuracy_ns)
+
+    def fail(self) -> None:
+        """Inject a device failure (GPS signal loss, hardware fault)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Restore the device."""
+        self.failed = False

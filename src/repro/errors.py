@@ -1,0 +1,76 @@
+"""Exception hierarchy for the GaussDB-Global reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven incorrectly.
+
+    Examples: running a finished environment backwards in time, or yielding
+    a non-event object from a process generator.
+    """
+
+
+class NetworkError(ReproError):
+    """A message could not be delivered (no route, endpoint down, ...)."""
+
+
+class ClockError(ReproError):
+    """Clock subsystem failure (e.g. sync daemon lost its time device)."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-level failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and its effects rolled back.
+
+    Carries a human-readable ``reason`` describing why (write conflict,
+    mode migration cutover, node failure, explicit rollback, ...).
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class WriteConflict(TransactionAborted):
+    """A write-write conflict with a concurrent transaction."""
+
+
+class ModeTransitionError(TransactionError):
+    """An invalid step in the GTM <-> GClock migration protocol."""
+
+
+class StorageError(ReproError):
+    """Storage engine failure (unknown table, duplicate key, ...)."""
+
+
+class DuplicateKeyError(StorageError):
+    """Primary-key or unique-index violation."""
+
+
+class TableNotFoundError(StorageError):
+    """The referenced table does not exist in the catalog."""
+
+
+class SqlError(ReproError):
+    """SQL front-end failure (lex, parse, plan, or execution)."""
+
+
+class StalenessBoundError(ReproError):
+    """No replica satisfies the query's staleness bound."""
+
+
+class ReplicaUnavailableError(ReproError):
+    """No live replica (or primary fallback) can serve the read."""

@@ -1,0 +1,23 @@
+"""Asynchronous (and quorum/synchronous) physical replication.
+
+Primaries ship redo in batches over the simulated network; replicas replay
+it with a parallel-apply cost model and track the maximum applied commit
+timestamp that feeds the Replica Consistency Point (§IV-A). The shipper
+implements the paper's log-shipping optimisations (LZ4 compression, BBR,
+Nagle-off) via :mod:`repro.sim.transport`; quorum policies implement the
+baseline's synchronous modes (same-city vs cross-region quorums).
+"""
+
+from repro.replication.quorum import AckTracker, ReplicationPolicy
+from repro.replication.replica import ReplicaStore
+from repro.replication.replayer import Replayer
+from repro.replication.shipper import LogShipper, ShipperConfig
+
+__all__ = [
+    "ReplicaStore",
+    "Replayer",
+    "LogShipper",
+    "ShipperConfig",
+    "ReplicationPolicy",
+    "AckTracker",
+]

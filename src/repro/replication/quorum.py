@@ -1,0 +1,124 @@
+"""Replication policies and commit-time ack tracking.
+
+The paper's GaussDB baseline commits only after a quorum of replicas has
+persisted the redo (optionally requiring remote-region replicas, which is
+what protects against regional disasters but costs WAN round trips).
+GlobalDB's headline configuration is fully asynchronous. Policies:
+
+- ``async_()`` — commit immediately; replicas catch up later.
+- ``quorum(k)`` — wait for ``k`` replica acks, any location.
+- ``same_city_quorum(k)`` — wait for ``k`` acks from same-region replicas
+  (survives a node loss, not a regional disaster).
+- ``remote_quorum(k)`` — wait for ``k`` acks including at least one from a
+  different region (survives a regional disaster; the slow baseline in
+  Fig. 6a).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.sim.core import Environment
+from repro.sim.events import Event
+
+
+@dataclass(frozen=True)
+class ReplicationPolicy:
+    """How long a commit must wait for replica acknowledgements."""
+
+    kind: str  # "async" | "quorum" | "same_city" | "remote"
+    count: int = 0
+
+    @classmethod
+    def async_(cls) -> "ReplicationPolicy":
+        return cls(kind="async")
+
+    @classmethod
+    def quorum(cls, count: int = 1) -> "ReplicationPolicy":
+        return cls(kind="quorum", count=count)
+
+    @classmethod
+    def same_city_quorum(cls, count: int = 1) -> "ReplicationPolicy":
+        return cls(kind="same_city", count=count)
+
+    @classmethod
+    def remote_quorum(cls, count: int = 1) -> "ReplicationPolicy":
+        return cls(kind="remote", count=count)
+
+    @property
+    def synchronous(self) -> bool:
+        return self.kind != "async"
+
+
+@dataclass
+class _Waiter:
+    lsn: int
+    event: Event
+    policy: ReplicationPolicy
+
+
+class AckTracker:
+    """Tracks per-replica acked LSNs for one primary and wakes commit
+    waiters once their policy is satisfied."""
+
+    def __init__(self, env: Environment, primary_region: str,
+                 replica_regions: typing.Mapping[str, str]):
+        self.env = env
+        self.primary_region = primary_region
+        #: replica endpoint name -> region
+        self.replica_regions = dict(replica_regions)
+        self.acked: dict[str, int] = {name: 0 for name in self.replica_regions}
+        self._waiters: list[_Waiter] = []
+
+    def add_replica(self, name: str, region: str) -> None:
+        self.replica_regions[name] = region
+        self.acked.setdefault(name, 0)
+
+    def on_ack(self, replica: str, lsn: int) -> None:
+        """A replica acknowledged persistence up to ``lsn``."""
+        if lsn > self.acked.get(replica, 0):
+            self.acked[replica] = lsn
+        if not self._waiters:
+            return
+        still_waiting = []
+        for waiter in self._waiters:
+            if self._satisfied(waiter.lsn, waiter.policy):
+                if not waiter.event.triggered:
+                    waiter.event.succeed(True)
+            else:
+                still_waiting.append(waiter)
+        self._waiters = still_waiting
+
+    def wait_for(self, lsn: int, policy: ReplicationPolicy) -> Event:
+        """Event that fires once ``policy`` is satisfied for ``lsn``.
+
+        Fires immediately for async policies or already-satisfied quorums.
+        """
+        event = Event(self.env)
+        if not policy.synchronous or self._satisfied(lsn, policy):
+            event.succeed(True)
+            return event
+        self._waiters.append(_Waiter(lsn=lsn, event=event, policy=policy))
+        return event
+
+    def _satisfied(self, lsn: int, policy: ReplicationPolicy) -> bool:
+        if not policy.synchronous:
+            return True
+        acked_names = [name for name, acked in self.acked.items() if acked >= lsn]
+        if policy.kind == "quorum":
+            return len(acked_names) >= policy.count
+        if policy.kind == "same_city":
+            same = [name for name in acked_names
+                    if self.replica_regions[name] == self.primary_region]
+            return len(same) >= policy.count
+        if policy.kind == "remote":
+            remote = [name for name in acked_names
+                      if self.replica_regions[name] != self.primary_region]
+            return len(acked_names) >= policy.count and len(remote) >= 1
+        raise ValueError(f"unknown policy kind {policy.kind!r}")
+
+    def min_acked_lsn(self) -> int:
+        if not self.acked:
+            return 0
+        return min(self.acked.values())

@@ -1,0 +1,155 @@
+"""Redo log shipping from a primary to one replica.
+
+The shipper subscribes to the primary's WAL and forwards records in
+batches. Batching policy: flush as soon as the pending batch reaches
+``max_batch_bytes``, or after ``flush_interval_ns`` from the first pending
+record — so a lone commit record doesn't wait around, but bulk traffic
+amortizes per-message costs.
+
+Byte accounting per flush (this is where the paper's §V-A optimisations
+act):
+
+1. payload bytes are compressed (LZ4 model: fewer wire bytes, small CPU
+   cost);
+2. a Nagle penalty applies to sub-MSS flushes sent while the previous
+   flush's ACK is outstanding;
+3. the congestion model turns the link's raw bandwidth into an achievable
+   rate for this flow — loss-based control collapses on high-RTT paths,
+   BBR doesn't — and the shortfall becomes extra transmission delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.sim.network import Network
+from repro.sim.transport import TransportConfig
+from repro.sim.units import ms, SECOND
+from repro.storage.redo import RedoRecord
+from repro.storage.wal import WalBuffer
+
+
+@dataclass(frozen=True)
+class ShipperConfig:
+    """Batching and transport knobs for one shipping channel."""
+
+    transport: TransportConfig
+    max_batch_bytes: int = 64 * 1024
+    flush_interval_ns: int = ms(1)
+
+    @classmethod
+    def baseline(cls) -> "ShipperConfig":
+        return cls(transport=TransportConfig.baseline())
+
+    @classmethod
+    def optimized(cls) -> "ShipperConfig":
+        return cls(transport=TransportConfig.optimized())
+
+
+class LogShipper:
+    """Ships one primary WAL to one replica endpoint."""
+
+    def __init__(self, env: Environment, network: Network, wal: WalBuffer,
+                 src: str, dst: str, config: ShipperConfig | None = None):
+        self.env = env
+        self.network = network
+        self.wal = wal
+        self.src = src
+        self.dst = dst
+        self.config = config or ShipperConfig.optimized()
+        self._pending: list[RedoRecord] = []
+        self._pending_bytes = 0
+        self._wake: Event | None = None
+        self._last_send_at: int | None = None
+        self.flushes = 0
+        self.payload_bytes_total = 0
+        self.wire_bytes_total = 0
+        self.nagle_stall_ns_total = 0
+        self.paused = False
+        # Catch up on anything already in the WAL, then follow appends.
+        for record in wal.records_from(0):
+            self._pending.append(record)
+            self._pending_bytes += record.size_bytes()
+        wal.subscribe(self._on_append)
+        self._process = env.process(self._run(), name=f"ship:{src}->{dst}")
+
+    # ------------------------------------------------------------------
+    def _on_append(self, record: RedoRecord) -> None:
+        self._pending.append(record)
+        self._pending_bytes += record.size_bytes()
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def _run(self):
+        while True:
+            if not self._pending:
+                self._wake = Event(self.env)
+                yield self._wake
+                self._wake = None
+            # Batch up: wait for more records until size or time threshold.
+            deadline = self.env.now + self.config.flush_interval_ns
+            while (self._pending_bytes < self.config.max_batch_bytes
+                   and self.env.now < deadline):
+                remaining = deadline - self.env.now
+                self._wake = Event(self.env)
+                timer = self.env.timeout(remaining)
+                yield self.env.any_of([self._wake, timer])
+                self._wake = None
+            if self.paused:
+                # Failure injection: drop nothing, just hold shipment.
+                yield self.env.timeout(self.config.flush_interval_ns)
+                continue
+            self._flush()
+
+    def _flush(self) -> None:
+        records = self._pending
+        payload_bytes = self._pending_bytes
+        self._pending = []
+        self._pending_bytes = 0
+        if not records:
+            return
+        transport = self.config.transport
+        wire_bytes, cpu_ns = transport.compression.compress(payload_bytes)
+        rtt = self.network.rtt_ns(self.src, self.dst)
+        since_last = (self.env.now - self._last_send_at
+                      if self._last_send_at is not None else rtt)
+        nagle_ns = transport.nagle.send_penalty_ns(wire_bytes, rtt, since_last)
+        congestion_ns = self._congestion_penalty_ns(wire_bytes, rtt)
+        self._last_send_at = self.env.now
+        self.flushes += 1
+        self.payload_bytes_total += payload_bytes
+        self.wire_bytes_total += wire_bytes
+        self.nagle_stall_ns_total += nagle_ns
+        self.network.send(
+            self.src, self.dst,
+            payload=("redo_batch", self.src, records),
+            size_bytes=wire_bytes,
+            extra_delay_ns=cpu_ns + nagle_ns + congestion_ns)
+
+    def _congestion_penalty_ns(self, wire_bytes: int, rtt: int) -> int:
+        """Extra transmission delay from the flow not achieving link rate."""
+        link = self.network.link(self.src, self.dst)
+        if link.bandwidth_bps <= 0:
+            return 0
+        effective = self.config.transport.congestion.effective_bandwidth(
+            link.bandwidth_bps, rtt)
+        if effective >= link.bandwidth_bps or effective <= 0:
+            return 0
+        full = wire_bytes * 8 / link.bandwidth_bps
+        achieved = wire_bytes * 8 / effective
+        return round((achieved - full) * SECOND)
+
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Failure injection: stop shipping (records keep accumulating)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+
+    def compression_ratio_achieved(self) -> float:
+        if not self.wire_bytes_total:
+            return 1.0
+        return self.payload_bytes_total / self.wire_bytes_total

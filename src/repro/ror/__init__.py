@@ -1,0 +1,28 @@
+"""Reads on asynchronous replicas with guaranteed consistency (§IV).
+
+Three pieces:
+
+- :mod:`repro.ror.rcp` — the Replica Consistency Point: the largest commit
+  timestamp available on *all* polled replicas, computed by an elected
+  collector CN and distributed monotonically.
+- :mod:`repro.ror.staleness` — per-mode staleness estimation (GClock mode
+  compares timestamps to the clock; GTM mode extrapolates from the
+  timestamp issue rate).
+- :mod:`repro.ror.skyline` — cost-based node selection: a Pareto skyline
+  over (staleness, latency/load) from which the router picks the fastest
+  node satisfying a query's freshness bound, excluding failed nodes.
+"""
+
+from repro.ror.rcp import RcpCollector, RcpState, compute_rcp
+from repro.ror.skyline import NodeMetrics, choose_node, skyline
+from repro.ror.staleness import StalenessEstimator
+
+__all__ = [
+    "compute_rcp",
+    "RcpCollector",
+    "RcpState",
+    "NodeMetrics",
+    "skyline",
+    "choose_node",
+    "StalenessEstimator",
+]

@@ -1,0 +1,114 @@
+"""The Replica Consistency Point (§IV-A, Fig. 4).
+
+Each replica tracks the maximum commit timestamp it has applied. The RCP is
+the minimum of those maxima across all polled replicas: every transaction
+with a commit timestamp at or below the RCP is fully available on every
+replica (with the ``PENDING_COMMIT``/``PREPARE`` holdback covering records
+that are present but unresolved). Reads at the RCP are therefore consistent
+across shards even though each shard replays independently.
+
+An elected collector CN polls the replicas, computes the RCP, and
+distributes it to the other CNs at its site. Distribution through a single
+collector keeps the RCP monotonic from every client's perspective even when
+clients are re-routed between CNs (load balancing, failover). If the
+collector dies, the next CN in deterministic order takes over.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.sim.core import Environment
+from repro.sim.events import settle
+from repro.sim.network import Network
+from repro.sim.units import ms
+
+
+def compute_rcp(max_commit_ts_by_replica: typing.Mapping[str, int]) -> int:
+    """Fig. 4's rule: min over replicas of (max applied commit timestamp)."""
+    if not max_commit_ts_by_replica:
+        return 0
+    return min(max_commit_ts_by_replica.values())
+
+
+@dataclass
+class RcpState:
+    """A CN's view of the RCP (monotonically non-decreasing)."""
+
+    rcp: int = 0
+    updated_at: int = 0
+    collector: str = ""
+    updates_received: int = 0
+    regressions_ignored: int = 0
+
+    def update(self, rcp: int, now: int, collector: str) -> None:
+        self.updates_received += 1
+        self.collector = collector
+        self.updated_at = now
+        if rcp >= self.rcp:
+            self.rcp = rcp
+        else:
+            # A lagging or newly-elected collector may briefly report an
+            # older value; clients must never observe the RCP move backward.
+            self.regressions_ignored += 1
+
+    def age_ns(self, now: int) -> int:
+        return now - self.updated_at
+
+
+class RcpCollector:
+    """The collector role, hosted on a CN.
+
+    ``poll()`` is a generator the owning CN runs periodically while it holds
+    the collector role: it fans out ``max_commit_ts`` requests to every
+    replica, computes the minimum over the replies, and pushes the result to
+    the peer CNs. Replicas that fail to answer are skipped for that round
+    (a down replica must not freeze the RCP — it is excluded from routing
+    by the skyline anyway).
+    """
+
+    def __init__(self, env: Environment, network: Network, cn_name: str,
+                 replica_names: typing.Sequence[str],
+                 peer_cn_names: typing.Sequence[str],
+                 poll_interval_ns: int = ms(5), rpc_timeout_ns: int = ms(500)):
+        self.env = env
+        self.network = network
+        self.cn_name = cn_name
+        self.replica_names = list(replica_names)
+        self.peer_cn_names = [name for name in peer_cn_names if name != cn_name]
+        self.poll_interval_ns = poll_interval_ns
+        self.rpc_timeout_ns = rpc_timeout_ns
+        self.last_rcp = 0
+        self.polls = 0
+        self.failed_probes = 0
+
+    def poll(self, on_rcp: typing.Callable[[int], None]):
+        """Generator: one polling round. Calls ``on_rcp`` with the computed
+        RCP and pushes it to peer CNs."""
+        requests = {
+            name: self.network.request(
+                self.cn_name, name, ("max_commit_ts",),
+                timeout_ns=self.rpc_timeout_ns)
+            for name in self.replica_names
+        }
+        if requests:
+            yield settle(self.env, list(requests.values()))
+        maxima: dict[str, int] = {}
+        for name, request in requests.items():
+            if request.ok:
+                maxima[name] = request.value
+            else:
+                self.failed_probes += 1
+        self.polls += 1
+        if not maxima:
+            return self.last_rcp
+        rcp = compute_rcp(maxima)
+        if rcp > self.last_rcp:
+            self.last_rcp = rcp
+        on_rcp(self.last_rcp)
+        for peer in self.peer_cn_names:
+            self.network.send(self.cn_name, peer,
+                              ("rcp_update", self.last_rcp, self.cn_name),
+                              size_bytes=64)
+        return self.last_rcp

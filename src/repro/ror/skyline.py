@@ -1,0 +1,89 @@
+"""Cost-based replica selection via a Pareto skyline (§IV-B, Fig. 5).
+
+Each CN periodically refreshes, per candidate node, two costs: *staleness*
+(how far behind its applied data is) and *latency* (network RTT plus a load
+penalty reflecting how promptly it answers). The skyline is the set of
+Pareto-minimal candidates — nodes not dominated on both axes. Given a
+query's staleness bound, the router picks the lowest-latency skyline node
+whose data is fresh enough; crashed or overloaded nodes drop out of the
+skyline automatically.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+
+@dataclass
+class NodeMetrics:
+    """One candidate node's tracked costs."""
+
+    name: str
+    staleness_ns: int
+    latency_ns: int
+    max_commit_ts: int = 0
+    load: float = 0.0
+    up: bool = True
+    is_primary: bool = False
+
+    def dominates(self, other: "NodeMetrics") -> bool:
+        """Strict Pareto dominance on (staleness, latency)."""
+        no_worse = (self.staleness_ns <= other.staleness_ns
+                    and self.latency_ns <= other.latency_ns)
+        better = (self.staleness_ns < other.staleness_ns
+                  or self.latency_ns < other.latency_ns)
+        return no_worse and better
+
+
+def skyline(candidates: typing.Iterable[NodeMetrics]) -> list[NodeMetrics]:
+    """Pareto-minimal subset of live candidates, sorted by latency."""
+    live = [candidate for candidate in candidates if candidate.up]
+    frontier = [
+        candidate for candidate in live
+        if not any(other.dominates(candidate) for other in live)
+    ]
+    frontier.sort(key=lambda metrics: (metrics.latency_ns, metrics.staleness_ns))
+    return frontier
+
+
+def choose_node(candidates: typing.Iterable[NodeMetrics],
+                staleness_bound_ns: int | None = None,
+                min_commit_ts: int | None = None,
+                rng=None, latency_slack_ns: int = 200_000) -> NodeMetrics | None:
+    """Pick a low-latency skyline node meeting the constraints.
+
+    ``staleness_bound_ns`` is the query's freshness requirement (None means
+    any staleness is acceptable). ``min_commit_ts`` additionally requires
+    the node's applied frontier to cover a timestamp (the RCP) so the read
+    is guaranteed consistent.
+
+    Qualifying nodes within ``latency_slack_ns`` of the fastest are treated
+    as equivalent and one is drawn at random (when ``rng`` is given): this
+    spreads load across same-site candidates instead of stampeding the
+    single cheapest node — the dynamic load balancing of §IV-B. Returns
+    None if no node qualifies; the caller then falls back to the primary.
+    """
+    qualifying = []
+    for metrics in candidates:
+        if not metrics.up:
+            continue
+        if staleness_bound_ns is not None and metrics.staleness_ns > staleness_bound_ns:
+            continue
+        if (min_commit_ts is not None and not metrics.is_primary
+                and metrics.max_commit_ts < min_commit_ts):
+            continue
+        qualifying.append(metrics)
+    if not qualifying:
+        return None
+    # The skyline's fastest qualifier anchors the choice; qualifying nodes
+    # within the slack of it share the traffic (a dominated-but-near node
+    # is still a useful target — domination says "never strictly better",
+    # not "useless").
+    frontier = skyline(qualifying)
+    fastest = frontier[0].latency_ns
+    near = [metrics for metrics in qualifying
+            if metrics.latency_ns <= fastest + latency_slack_ns]
+    if rng is None or len(near) == 1:
+        return min(near, key=lambda metrics: metrics.latency_ns)
+    return rng.choice(near)

@@ -1,0 +1,229 @@
+"""The discrete-event simulation kernel.
+
+:class:`Environment` owns the event queue and the simulated clock (integer
+nanoseconds of *true* time). :class:`Process` drives a Python generator:
+each ``yield``-ed :class:`~repro.sim.events.Event` suspends the process until
+the event fires, at which point the event's value is sent back into the
+generator (or its exception thrown).
+
+The kernel is deterministic: ties at equal timestamps are broken by a
+monotonically increasing sequence number, so two runs with the same seeds
+produce identical histories.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Interrupt, Timeout, PRIORITY_NORMAL, PRIORITY_URGENT
+
+
+class Process(Event):
+    """Wraps a generator as a simulation process.
+
+    The process is itself an event that fires when the generator returns
+    (success, with the return value) or raises (failure). Other processes
+    can therefore ``yield proc`` to join on it.
+    """
+
+    def __init__(self, env: "Environment", generator: typing.Generator,
+                 name: str | None = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # Kick off the generator at the current time, urgently so a process
+        # spawned "now" starts before pending normal-priority events.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: typing.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must currently be suspended on an event; the interrupt
+        detaches it from that event and resumes it with the exception.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self._target is None:
+            raise SimulationError(f"cannot interrupt process {self.name!r} before it starts")
+        carrier = Event(self.env)
+        carrier._ok = False
+        carrier._exception = Interrupt(cause)
+        carrier.defused = True
+        # Detach from the event the process was waiting on. The original
+        # event may still fire later; its value is simply not delivered.
+        target_callbacks = self._target.callbacks
+        if target_callbacks is not None and self._resume in target_callbacks:
+            target_callbacks.remove(self._resume)
+        self._target = None
+        carrier.callbacks.append(self._resume)
+        self.env.schedule(carrier, priority=PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    yielded = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    yielded = self._generator.throw(event._exception)
+            except StopIteration as stop:
+                self._target = None
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                self._ok = False
+                self._exception = exc
+                self.env.schedule(self, priority=PRIORITY_URGENT)
+                return
+
+            if not isinstance(yielded, Event):
+                self.env._active_process = None
+                raise SimulationError(
+                    f"process {self.name!r} yielded a non-event: {yielded!r}")
+            if yielded.processed:
+                # Already fired and delivered: consume its value immediately.
+                event = yielded
+                continue
+            yielded.add_callback(self._resume)
+            self._target = yielded
+            self.env._active_process = None
+            return
+
+
+class Environment:
+    """The simulation event loop and clock.
+
+    ``now`` is the current *true* time in integer nanoseconds. Events are
+    processed in (time, priority, sequence) order; the sequence number makes
+    execution fully deterministic.
+    """
+
+    def __init__(self, initial_time: int = 0):
+        self._now = initial_time
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> int:
+        """Current simulated true time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event creation helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: typing.Any = None) -> Timeout:
+        """An event that fires after ``delay`` nanoseconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator, name: str | None = None) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: int = 0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Put a triggered event on the queue ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> int | None:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("cannot step an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event.defused:
+            # A failed event nobody was waiting on: surface it rather than
+            # silently dropping the error.
+            raise event._exception  # type: ignore[misc]
+
+    def run(self, until: int | Event | None = None) -> typing.Any:
+        """Run the simulation.
+
+        - ``until`` is an ``int``: run until simulated time reaches it.
+        - ``until`` is an :class:`Event`: run until that event is processed,
+          then return its value (raising its exception if it failed).
+        - ``until`` is None: run until the event queue drains.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired")
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop.defused = True
+            raise stop._exception  # type: ignore[misc]
+
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"cannot run backwards: now={self._now}, until={until}")
+            while self._queue and self._queue[0][0] <= until:
+                self.step()
+            self._now = until
+            return None
+
+        while self._queue:
+            self.step()
+        return None
+
+    def run_for(self, duration: int) -> None:
+        """Run for ``duration`` nanoseconds of simulated time."""
+        self.run(until=self._now + duration)
+
+    def any_of(self, events: list[Event]) -> Event:
+        """Composite event that fires when any child fires."""
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[Event]) -> Event:
+        """Composite event that fires when all children have fired."""
+        from repro.sim.events import AllOf
+
+        return AllOf(self, events)

@@ -1,0 +1,139 @@
+"""Transport-level modelling: compression, Nagle, and congestion control.
+
+The paper closes the Three-City gap with three log-shipping optimisations
+(§V-A): LZ4 compression of redo, TCP BBR congestion control, and disabling
+Nagle's algorithm. We model their *consequences* at the byte/latency level:
+
+- **Compression** shrinks the bytes a batch occupies on the wire at a small
+  CPU cost per input byte.
+- **Congestion control** determines what fraction of the bottleneck
+  bandwidth a long-fat-network flow actually achieves. Loss-based control
+  (CUBIC-style) collapses as ``RTT * sqrt(loss)`` grows; BBR holds close to
+  the bottleneck rate.
+- **Nagle** delays small segments until the previous segment is ACKed, which
+  on a WAN adds up to one RTT of latency to small, frequent sends (redo tail
+  records, ACK-carrying heartbeats).
+
+These models are consumed by :mod:`repro.replication.shipper`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.units import SECOND
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """A compression codec's observable behaviour.
+
+    ``ratio`` is input_bytes / output_bytes; ``cpu_ns_per_kb`` the CPU cost
+    of compressing one kilobyte (LZ4 compresses redo at several GB/s, so the
+    cost is small but not free).
+    """
+
+    name: str
+    ratio: float
+    cpu_ns_per_kb: int
+
+    def compress(self, size_bytes: int) -> tuple[int, int]:
+        """Return (wire_bytes, cpu_ns) for a payload of ``size_bytes``."""
+        if size_bytes <= 0:
+            return 0, 0
+        wire = max(1, round(size_bytes / self.ratio))
+        cpu = round(size_bytes / 1024 * self.cpu_ns_per_kb)
+        return wire, cpu
+
+
+#: No compression: bytes pass through untouched.
+NO_COMPRESSION = CompressionModel(name="none", ratio=1.0, cpu_ns_per_kb=0)
+
+#: LZ4 on redo streams: ~2.8x ratio at ~0.4 GB/s-per-core => ~2.4 us/KB.
+LZ4 = CompressionModel(name="lz4", ratio=2.8, cpu_ns_per_kb=2_400)
+
+
+@dataclass(frozen=True)
+class CongestionModel:
+    """Throughput a bulk flow achieves on a lossy, high-latency path."""
+
+    name: str
+    bbr_like: bool
+    loss_rate: float = 1e-4  # WAN background loss assumed by the model
+    mss_bytes: int = 1460
+
+    def effective_bandwidth(self, link_bandwidth_bps: float, rtt_ns: int) -> float:
+        """Achievable throughput in bits/s for one bulk flow on this path."""
+        if rtt_ns <= 0:
+            return link_bandwidth_bps
+        if self.bbr_like:
+            # BBR probes the bottleneck rate directly and is largely
+            # insensitive to random loss; it sustains ~95% of the link.
+            return 0.95 * link_bandwidth_bps
+        # Mathis model for loss-based control: rate ~ MSS / (RTT * sqrt(p)).
+        rtt_s = rtt_ns / SECOND
+        if self.loss_rate <= 0:
+            return link_bandwidth_bps
+        mathis_bps = (self.mss_bytes * 8) / (rtt_s * math.sqrt(self.loss_rate)) * 1.22
+        return min(link_bandwidth_bps, mathis_bps)
+
+
+#: BBR: model-based, loss-insensitive.
+BBR = CongestionModel(name="bbr", bbr_like=True)
+
+#: CUBIC-style loss-based control.
+CUBIC = CongestionModel(name="cubic", bbr_like=False)
+
+
+@dataclass(frozen=True)
+class NagleModel:
+    """Nagle's algorithm interaction with small writes.
+
+    With Nagle enabled, a small segment (< MSS) sent while another segment is
+    unacknowledged waits for that ACK — up to one RTT on a WAN. Disabling
+    Nagle (TCP_NODELAY) removes the stall.
+    """
+
+    enabled: bool
+    mss_bytes: int = 1460
+
+    def send_penalty_ns(self, size_bytes: int, rtt_ns: int,
+                        ns_since_last_send: int) -> int:
+        """Extra latency added to this send."""
+        if not self.enabled:
+            return 0
+        if size_bytes >= self.mss_bytes:
+            return 0
+        if ns_since_last_send >= rtt_ns:
+            return 0  # previous segment already ACKed
+        return rtt_ns - ns_since_last_send
+
+
+NAGLE_ON = NagleModel(enabled=True)
+NAGLE_OFF = NagleModel(enabled=False)
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Bundle of transport choices for one shipping channel.
+
+    ``baseline()`` mirrors stock GaussDB (no compression, loss-based CC,
+    Nagle on); ``optimized()`` mirrors GlobalDB's tuned stack (§V-A).
+    """
+
+    compression: CompressionModel = NO_COMPRESSION
+    congestion: CongestionModel = CUBIC
+    nagle: NagleModel = NAGLE_ON
+
+    @classmethod
+    def baseline(cls) -> "TransportConfig":
+        return cls(compression=NO_COMPRESSION, congestion=CUBIC, nagle=NAGLE_ON)
+
+    @classmethod
+    def optimized(cls) -> "TransportConfig":
+        return cls(compression=LZ4, congestion=BBR, nagle=NAGLE_OFF)
+
+    def describe(self) -> str:
+        nagle = "nagle-on" if self.nagle.enabled else "nagle-off"
+        return f"{self.compression.name}+{self.congestion.name}+{nagle}"

@@ -1,0 +1,97 @@
+"""Commit log (clog): the authoritative record of transaction outcomes.
+
+MVCC tuple versions carry only the writing transaction id; visibility is
+resolved by looking the id up here. A transaction is in exactly one state:
+
+    IN_PROGRESS -> PREPARED -> COMMITTED(commit_ts) | ABORTED
+                \\--------------^
+
+Commit timestamps, not ids, order transactions: ids are just handles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TransactionError
+
+
+class TxnStatus(enum.Enum):
+    IN_PROGRESS = "in_progress"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TxnRecord:
+    status: TxnStatus
+    commit_ts: int | None = None
+
+
+class CommitLog:
+    """Maps transaction id -> outcome."""
+
+    def __init__(self):
+        self._records: dict[int, TxnRecord] = {}
+
+    def begin(self, txid: int) -> None:
+        if txid in self._records:
+            raise TransactionError(f"transaction {txid} already exists in clog")
+        self._records[txid] = TxnRecord(TxnStatus.IN_PROGRESS)
+
+    def ensure(self, txid: int) -> None:
+        """Register ``txid`` as in-progress if unseen (replica replay path,
+        where data records may arrive before any explicit begin)."""
+        if txid not in self._records:
+            self._records[txid] = TxnRecord(TxnStatus.IN_PROGRESS)
+
+    def status(self, txid: int) -> TxnStatus:
+        record = self._records.get(txid)
+        if record is None:
+            raise TransactionError(f"unknown transaction {txid}")
+        return record.status
+
+    def known(self, txid: int) -> bool:
+        return txid in self._records
+
+    def prepare(self, txid: int) -> None:
+        record = self._records.get(txid)
+        if record is None or record.status is not TxnStatus.IN_PROGRESS:
+            raise TransactionError(f"cannot prepare transaction {txid}")
+        record.status = TxnStatus.PREPARED
+
+    def commit(self, txid: int, commit_ts: int) -> None:
+        record = self._records.get(txid)
+        if record is None:
+            raise TransactionError(f"cannot commit unknown transaction {txid}")
+        if record.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED):
+            raise TransactionError(
+                f"transaction {txid} already finished ({record.status.value})")
+        record.status = TxnStatus.COMMITTED
+        record.commit_ts = commit_ts
+
+    def abort(self, txid: int) -> None:
+        record = self._records.get(txid)
+        if record is None:
+            raise TransactionError(f"cannot abort unknown transaction {txid}")
+        if record.status is TxnStatus.COMMITTED:
+            raise TransactionError(f"transaction {txid} already committed")
+        record.status = TxnStatus.ABORTED
+        record.commit_ts = None
+
+    def commit_ts(self, txid: int) -> int | None:
+        """The commit timestamp, or None if not committed."""
+        record = self._records.get(txid)
+        if record is None or record.status is not TxnStatus.COMMITTED:
+            return None
+        return record.commit_ts
+
+    def is_committed_before(self, txid: int, read_ts: int) -> bool:
+        """True if ``txid`` committed with a timestamp <= ``read_ts``."""
+        record = self._records.get(txid)
+        return (record is not None
+                and record.status is TxnStatus.COMMITTED
+                and record.commit_ts is not None
+                and record.commit_ts <= read_ts)

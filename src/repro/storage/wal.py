@@ -1,0 +1,55 @@
+"""Write-ahead (redo) log buffer.
+
+Primaries append records here; log shippers subscribe and drain. The buffer
+assigns monotonically increasing LSNs and notifies subscribers on append so
+shipping can be latency-driven (flush small batches fast) rather than
+poll-driven.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.storage.redo import RedoRecord
+
+
+class WalBuffer:
+    """An append-only in-memory redo log with subscriber callbacks."""
+
+    def __init__(self, name: str = "wal", start_lsn: int = 1):
+        self.name = name
+        self._records: list[RedoRecord] = []
+        #: LSN of the first record this buffer will hold. Normally 1; a
+        #: promoted replica's fresh WAL continues from its applied LSN so
+        #: the shard keeps one dense LSN sequence across the failover.
+        self.start_lsn = start_lsn
+        self._next_lsn = start_lsn
+        self._subscribers: list[typing.Callable[[RedoRecord], None]] = []
+        self.bytes_written = 0
+
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    def append(self, record: RedoRecord) -> int:
+        """Assign an LSN, store the record, notify subscribers."""
+        record.lsn = self._next_lsn
+        self._next_lsn += 1
+        self._records.append(record)
+        self.bytes_written += record.size_bytes()
+        for subscriber in self._subscribers:
+            subscriber(record)
+        return record.lsn
+
+    def subscribe(self, callback: typing.Callable[[RedoRecord], None]) -> None:
+        """Register a callback invoked synchronously on every append."""
+        self._subscribers.append(callback)
+
+    def records_from(self, lsn_exclusive: int) -> list[RedoRecord]:
+        """All records with LSN > ``lsn_exclusive`` (replica catch-up)."""
+        # LSNs are dense from start_lsn, so slicing is exact.
+        index = max(0, lsn_exclusive - self.start_lsn + 1)
+        return self._records[index:]
+
+    def __len__(self) -> int:
+        return len(self._records)

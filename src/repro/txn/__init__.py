@@ -1,0 +1,27 @@
+"""Transaction management (§III).
+
+GlobalDB supports two timestamp-generation regimes and can transition
+between them online:
+
+- **GTM mode** — a centralized Global Transaction Manager issues begin and
+  commit timestamps (a counter incremented per transaction, Eq. 2). Every
+  timestamp costs a network round trip to the GTM server.
+- **GClock mode** — decentralized, Spanner-style: each node takes
+  ``T_clock + T_err`` from its synced local clock (Eq. 1) and *commit-waits*
+  until its clock passes the timestamp, which guarantees the paper's
+  visibility requirements R.1/R.2 (external serializability) with zero
+  timestamp traffic.
+- **DUAL mode** — the bridge used during online migration (Eq. 3):
+  ``TS_DUAL = max(TS_GTM, TS_GClock) + 1``, issued by the GTM server, valid
+  against both regimes.
+
+:class:`~repro.txn.migration.MigrationCoordinator` drives the zero-downtime
+bidirectional transition of Figs. 2 and 3.
+"""
+
+from repro.txn.gtm import GTMServer
+from repro.txn.migration import MigrationCoordinator
+from repro.txn.modes import TxnMode
+from repro.txn.provider import TimestampProvider
+
+__all__ = ["TxnMode", "GTMServer", "TimestampProvider", "MigrationCoordinator"]

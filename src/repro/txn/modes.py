@@ -1,0 +1,20 @@
+"""Transaction-management modes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TxnMode(enum.Enum):
+    """The timestamp-generation regime a node (or transaction) runs under.
+
+    A transaction is pinned to the mode its coordinating node was in when it
+    began; nodes themselves transition GTM <-> DUAL <-> GCLOCK online.
+    """
+
+    GTM = "gtm"
+    DUAL = "dual"
+    GCLOCK = "gclock"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,183 @@
+"""Per-node timestamp provider.
+
+Every computing node and data node owns a :class:`TimestampProvider` that
+knows the node's current transaction-management mode and implements the
+begin/commit timestamp protocols for all three modes. Transactions are
+pinned to the mode under which they began; the provider resolves the
+*effective* commit protocol from (transaction mode, node mode):
+
+- a GTM transaction always commits through the GTM server — during a DUAL
+  window the server makes it wait out ``2 x max error bound`` (Listing 1's
+  fix), and after a GClock cutover the server rejects it (the transaction
+  aborts, as §III-A specifies);
+- a DUAL transaction always commits through the GTM server with Eq. 3;
+- a GClock transaction commits locally with commit-wait — unless the node
+  has left GClock mode (a GClock -> GTM transition is in progress), in
+  which case it is upgraded to the DUAL protocol so it never aborts,
+  matching Fig. 3's "no old transactions will need to abort".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocks.gclock import GClockSource
+from repro.errors import ModeTransitionError, TransactionAborted
+from repro.sim.core import Environment
+from repro.sim.network import Network
+from repro.txn.modes import TxnMode
+
+#: Legal mode transitions for a node (same shape as the GTM server's).
+_LEGAL_TRANSITIONS = {
+    (TxnMode.GTM, TxnMode.DUAL),
+    (TxnMode.DUAL, TxnMode.GCLOCK),
+    (TxnMode.GCLOCK, TxnMode.DUAL),
+    (TxnMode.DUAL, TxnMode.GTM),
+}
+
+
+@dataclass
+class TimestampStats:
+    """Counters for reporting (GTM round trips vs. local stamps, waits)."""
+
+    gtm_round_trips: int = 0
+    local_stamps: int = 0
+    commit_wait_ns_total: int = 0
+    commit_waits: int = 0
+    aborts_on_cutover: int = 0
+
+    def mean_commit_wait_ns(self) -> float:
+        if not self.commit_waits:
+            return 0.0
+        return self.commit_wait_ns_total / self.commit_waits
+
+
+class TimestampProvider:
+    """Mode-aware begin/commit timestamp protocols for one node."""
+
+    def __init__(self, env: Environment, network: Network, node_name: str,
+                 gclock: GClockSource, gtm_name: str,
+                 mode: TxnMode = TxnMode.GTM):
+        self.env = env
+        self.network = network
+        self.node_name = node_name
+        self.gclock = gclock
+        self.gtm_name = gtm_name
+        self.mode = mode
+        self.stats = TimestampStats()
+
+    # ------------------------------------------------------------------
+    # Mode management
+    # ------------------------------------------------------------------
+    def set_mode(self, mode: TxnMode):
+        """Switch the node's mode (generator: DUAL entry reports the node's
+        GClock view to the GTM server so Eq. 3 and Fig. 3 bookkeeping hold).
+        """
+        if mode is self.mode:
+            return
+        if (self.mode, mode) not in _LEGAL_TRANSITIONS:
+            raise ModeTransitionError(
+                f"illegal node transition {self.mode} -> {mode} on {self.node_name}")
+        if mode is TxnMode.DUAL:
+            stamp = self.gclock.timestamp()
+            yield self.network.request(
+                self.node_name, self.gtm_name,
+                ("report_gclock", stamp.ts, stamp.err))
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    # Begin
+    # ------------------------------------------------------------------
+    def begin(self):
+        """Generator: returns ``(read_ts, txn_mode)`` for a new transaction.
+
+        GClock mode performs the invocation wait of §III; GTM and DUAL
+        modes pay a round trip to the GTM server.
+        """
+        mode = self.mode
+        if mode is TxnMode.GTM:
+            read_ts = yield self.network.request(
+                self.node_name, self.gtm_name, ("begin",))
+            self.stats.gtm_round_trips += 1
+            return read_ts, mode
+        if mode is TxnMode.DUAL:
+            stamp = self.gclock.timestamp()
+            read_ts = yield self.network.request(
+                self.node_name, self.gtm_name,
+                ("begin_dual", stamp.ts, stamp.err))
+            self.stats.gtm_round_trips += 1
+            return read_ts, mode
+        # GClock: take the timestamp and perform the invocation wait.
+        stamp = self.gclock.timestamp()
+        self.stats.local_stamps += 1
+        started = self.env.now
+        yield from self.gclock.wait_until_after(stamp.ts)
+        self._note_wait(started)
+        return stamp.ts, mode
+
+    def begin_no_wait(self) -> tuple[int, TxnMode]:
+        """The single-shard bypass of §III: no invocation wait, no RPC.
+
+        Only valid when the snapshot will be replaced by the target node's
+        last-committed timestamp (single-shard reads); callers must not use
+        this for multi-shard snapshots.
+        """
+        self.stats.local_stamps += 1
+        return self.gclock.timestamp().ts, self.mode
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit_ts(self, txn_mode: TxnMode):
+        """Generator: returns the commit timestamp for a transaction that
+        began under ``txn_mode``, applying the mode-appropriate wait.
+
+        Raises :class:`TransactionAborted` for GTM transactions stranded by
+        a GClock cutover.
+        """
+        effective = self._effective_commit_mode(txn_mode)
+        if effective is TxnMode.GTM:
+            reply = yield self.network.request(
+                self.node_name, self.gtm_name, ("commit_gtm",))
+            self.stats.gtm_round_trips += 1
+            if reply[0] == "abort":
+                self.stats.aborts_on_cutover += 1
+                raise TransactionAborted(reply[1])
+            _ok, ts, wait_ns = reply
+            if wait_ns:
+                started = self.env.now
+                yield self.env.timeout(wait_ns)
+                self._note_wait(started)
+            return ts
+        if effective is TxnMode.DUAL:
+            stamp = self.gclock.timestamp()
+            reply = yield self.network.request(
+                self.node_name, self.gtm_name,
+                ("commit_dual", stamp.ts, stamp.err))
+            self.stats.gtm_round_trips += 1
+            _ok, ts, _wait = reply
+            # Commit-wait so later GClock transactions anywhere get larger
+            # timestamps even though ts was issued centrally.
+            started = self.env.now
+            yield from self.gclock.wait_until_after(ts)
+            self._note_wait(started)
+            return ts
+        # Pure GClock commit: local stamp + commit wait. Zero GTM traffic.
+        stamp = self.gclock.timestamp()
+        self.stats.local_stamps += 1
+        started = self.env.now
+        yield from self.gclock.wait_until_after(stamp.ts)
+        self._note_wait(started)
+        return stamp.ts
+
+    def _effective_commit_mode(self, txn_mode: TxnMode) -> TxnMode:
+        if txn_mode is TxnMode.GCLOCK and self.mode is not TxnMode.GCLOCK:
+            # The node left GClock mode while this transaction ran
+            # (GClock -> GTM migration). Upgrade to DUAL: Eq. 3 timestamps
+            # are valid against both regimes, so nothing aborts (Fig. 3).
+            return TxnMode.DUAL
+        return txn_mode
+
+    def _note_wait(self, started: int) -> None:
+        self.stats.commit_waits += 1
+        self.stats.commit_wait_ns_total += self.env.now - started

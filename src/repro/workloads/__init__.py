@@ -1,0 +1,26 @@
+"""Evaluation workloads (§V): TPC-C and Sysbench.
+
+- :mod:`repro.workloads.tpcc` — the full TPC-C mix (New-Order, Payment,
+  Order-Status, Delivery, Stock-Level) over the 9-table schema, with
+  spec-conformant NURand key skew, a controllable remote-transaction
+  fraction (the paper modifies workload affinity, §V-A), and the read-only
+  variant (Order-Status + Stock-Level with 50% multi-shard reads, §V-B).
+- :mod:`repro.workloads.sysbench` — Sysbench point-select with a
+  controllable remote-tuple fraction (§V-B runs 2/3 remote).
+- :mod:`repro.workloads.driver` — closed-loop terminal drivers running
+  inside the simulation, and latency/throughput statistics.
+"""
+
+from repro.workloads.driver import WorkloadResult, WorkloadStats, run_workload
+from repro.workloads.sysbench import SysbenchConfig, SysbenchWorkload
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+
+__all__ = [
+    "run_workload",
+    "WorkloadStats",
+    "WorkloadResult",
+    "TpccConfig",
+    "TpccWorkload",
+    "SysbenchConfig",
+    "SysbenchWorkload",
+]

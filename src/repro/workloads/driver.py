@@ -1,0 +1,138 @@
+"""Closed-loop workload drivers and statistics.
+
+A *terminal* is a simulation process bound to a CN that repeatedly draws a
+transaction from the workload, executes it, records latency, and
+immediately issues the next one (think-times disabled, as in throughput
+benchmarking). Throughput is transactions completed per simulated second —
+the metric the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionAborted
+from repro.sim.units import SECOND, ns_to_ms
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.builder import GlobalDB
+
+
+@dataclass
+class WorkloadStats:
+    """Latency/throughput accumulator for one run."""
+
+    committed: int = 0
+    aborted: int = 0
+    latencies_ns: list[int] = field(default_factory=list)
+    by_type: dict[str, int] = field(default_factory=dict)
+    window_ns: int = 0
+
+    def record(self, txn_type: str, latency_ns: int, ok: bool) -> None:
+        if ok:
+            self.committed += 1
+            self.latencies_ns.append(latency_ns)
+            self.by_type[txn_type] = self.by_type.get(txn_type, 0) + 1
+        else:
+            self.aborted += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_per_s(self) -> float:
+        if self.window_ns <= 0:
+            return 0.0
+        return self.committed / (self.window_ns / SECOND)
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+    def latency_percentile_ms(self, percentile: float) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1,
+                    max(0, round(percentile / 100 * (len(ordered) - 1))))
+        return ns_to_ms(ordered[index])
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        return ns_to_ms(sum(self.latencies_ns) / len(self.latencies_ns))
+
+
+@dataclass
+class WorkloadResult:
+    """Final result of one workload run."""
+
+    stats: WorkloadStats
+    duration_s: float
+    terminals: int
+
+    @property
+    def throughput_per_s(self) -> float:
+        return self.stats.throughput_per_s
+
+    @property
+    def tpm(self) -> float:
+        """Transactions per minute (tpmC-style when the mix is TPC-C)."""
+        return self.throughput_per_s * 60
+
+    def summary(self) -> str:
+        return (f"{self.stats.committed} txns in {self.duration_s:.1f}s "
+                f"({self.throughput_per_s:.1f}/s, "
+                f"p50={self.stats.latency_percentile_ms(50):.2f}ms, "
+                f"p99={self.stats.latency_percentile_ms(99):.2f}ms, "
+                f"aborts={self.stats.abort_rate * 100:.2f}%)")
+
+
+class Workload(typing.Protocol):
+    """What a workload must provide to the driver."""
+
+    def setup(self, db: "GlobalDB") -> None:
+        """Create tables and load data (offline)."""
+
+    def transaction(self, cn, terminal_id: int):
+        """Generator: run one transaction on ``cn``; returns its type tag."""
+
+
+def run_workload(db: "GlobalDB", workload: Workload, terminals: int,
+                 duration_s: float, warmup_s: float = 0.0,
+                 setup: bool = True,
+                 cns: typing.Sequence | None = None) -> WorkloadResult:
+    """Run ``terminals`` closed-loop clients for ``duration_s`` sim-seconds.
+
+    Terminals are spread round-robin over ``cns`` (default: all of the
+    cluster's CNs — pass a subset to measure a specific node, as Fig. 6b
+    does for a CN not co-located with the GTM server). ``warmup_s`` of
+    extra run time is excluded from the statistics.
+    """
+    if setup:
+        workload.setup(db)
+    stats = WorkloadStats()
+    env = db.env
+    target_cns = list(cns) if cns else list(db.cns)
+    start_counting_at = env.now + round(warmup_s * SECOND)
+    stop_at = start_counting_at + round(duration_s * SECOND)
+
+    def terminal(terminal_id: int):
+        cn = target_cns[terminal_id % len(target_cns)]
+        while env.now < stop_at:
+            started = env.now
+            txn_type = "txn"
+            try:
+                txn_type = yield from workload.transaction(cn, terminal_id)
+                ok = True
+            except TransactionAborted:
+                ok = False
+            if env.now >= start_counting_at and env.now < stop_at:
+                stats.record(txn_type or "txn", env.now - started, ok)
+
+    for terminal_id in range(terminals):
+        env.process(terminal(terminal_id), name=f"terminal-{terminal_id}")
+    env.run(until=stop_at)
+    stats.window_ns = stop_at - start_counting_at
+    return WorkloadResult(stats=stats, duration_s=duration_s, terminals=terminals)

@@ -1,0 +1,127 @@
+"""Sysbench workloads (§V-B).
+
+The paper's read benchmark is Sysbench Point Select over 250 tables of
+25,000 rows with 2/3 of tuples fetched from remote nodes. We keep the
+structure (many ``sbtest`` tables, uniform point selects) with scaled-down
+defaults and a ``remote_pct`` knob controlling the fraction of lookups that
+target rows homed on a shard in another region.
+
+An OLTP read-write variant is included for completeness (used by tests and
+ablations; the paper's figures only use Point Select).
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass
+
+from repro.errors import TransactionAborted
+from repro.storage.catalog import ColumnDef, TableSchema
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.builder import GlobalDB
+    from repro.cluster.cn import ComputingNode
+
+
+@dataclass
+class SysbenchConfig:
+    """Scale knobs (paper scale: tables=250, rows_per_table=25000)."""
+
+    tables: int = 8
+    rows_per_table: int = 500
+    remote_pct: float = 2 / 3
+    point_selects_per_txn: int = 1
+    seed: int = 7
+
+
+class SysbenchWorkload:
+    """Point-select Sysbench."""
+
+    name = "sysbench-point-select"
+
+    def __init__(self, config: SysbenchConfig | None = None,
+                 read_write: bool = False):
+        self.config = config or SysbenchConfig()
+        self.read_write = read_write
+        self._rngs: dict[int, random.Random] = {}
+        #: (table, id) keys homed locally/remotely per region.
+        self._local_keys: dict[str, list[tuple[str, int]]] = {}
+        self._remote_keys: dict[str, list[tuple[str, int]]] = {}
+
+    # ------------------------------------------------------------------
+    def _table(self, index: int) -> str:
+        return f"sbtest{index}"
+
+    def setup(self, db: "GlobalDB") -> None:
+        config = self.config
+        rng = random.Random(config.seed)
+        for index in range(1, config.tables + 1):
+            schema = TableSchema(
+                name=self._table(index),
+                columns=[ColumnDef("id", "int"), ColumnDef("k", "int"),
+                         ColumnDef("c", "text"), ColumnDef("pad", "text")],
+                primary_key=("id",),
+            )
+            db.create_table_offline(schema)
+            rows = [{
+                "id": row_id,
+                "k": rng.randint(1, config.rows_per_table),
+                "c": f"c-{row_id}", "pad": "p" * 20,
+            } for row_id in range(1, config.rows_per_table + 1)]
+            db.bulk_load(schema.name, rows)
+        # Partition a sample of keys by home region for the remote knob.
+        self._local_keys = {region: [] for region in db.config.topology.regions}
+        self._remote_keys = {region: [] for region in db.config.topology.regions}
+        sample_ids = range(1, config.rows_per_table + 1,
+                           max(1, config.rows_per_table // 200))
+        for index in range(1, config.tables + 1):
+            table = self._table(index)
+            for row_id in sample_ids:
+                shard = db.shard_map.shard_for_value(table, row_id)
+                home = db.primaries[shard].region
+                for region in self._local_keys:
+                    bucket = (self._local_keys if home == region
+                              else self._remote_keys)
+                    bucket[region].append((table, row_id))
+
+    def _rng(self, terminal_id: int) -> random.Random:
+        rng = self._rngs.get(terminal_id)
+        if rng is None:
+            rng = random.Random(self.config.seed * 7_000_003 + terminal_id)
+            self._rngs[terminal_id] = rng
+        return rng
+
+    def _pick_key(self, cn: "ComputingNode", rng: random.Random) -> tuple[str, int]:
+        remote = self._remote_keys.get(cn.region) or []
+        local = self._local_keys.get(cn.region) or []
+        if remote and rng.random() < self.config.remote_pct:
+            return rng.choice(remote)
+        if local:
+            return rng.choice(local)
+        table = self._table(rng.randint(1, self.config.tables))
+        return table, rng.randint(1, self.config.rows_per_table)
+
+    # ------------------------------------------------------------------
+    def transaction(self, cn: "ComputingNode", terminal_id: int):
+        rng = self._rng(terminal_id)
+        if self.read_write:
+            yield from self._oltp_rw(cn, rng)
+            return "oltp_rw"
+        for _ in range(self.config.point_selects_per_txn):
+            table, row_id = self._pick_key(cn, rng)
+            row = yield from cn.g_read_only(table, (row_id,))
+            if row is None:
+                raise TransactionAborted("sysbench: missing row")
+        return "point_select"
+
+    def _oltp_rw(self, cn: "ComputingNode", rng: random.Random):
+        table, row_id = self._pick_key(cn, rng)
+        ctx = yield from cn.g_begin()
+        row = yield from cn.g_read(ctx, table, (row_id,))
+        if row is None:
+            yield from cn.g_abort(ctx)
+            raise TransactionAborted("sysbench: missing row")
+        yield from cn.g_update(ctx, table, (row_id,), {
+            "k": lambda value: (value or 0) + 1})
+        yield from cn.g_commit(ctx)

@@ -1,0 +1,22 @@
+"""TPC-C for the simulated cluster.
+
+Structurally faithful to the spec (9 tables, five transaction types with
+the standard mix, NURand key skew, 1% intentional New-Order aborts), scaled
+down by default so pure-Python simulation finishes quickly. Scale knobs
+live on :class:`~repro.workloads.tpcc.workload.TpccConfig`.
+"""
+
+from repro.workloads.tpcc.schema import TPCC_SCHEMAS, tpcc_schemas
+from repro.workloads.tpcc.workload import (
+    ReadOnlyTpccWorkload,
+    TpccConfig,
+    TpccWorkload,
+)
+
+__all__ = [
+    "TpccConfig",
+    "TpccWorkload",
+    "ReadOnlyTpccWorkload",
+    "TPCC_SCHEMAS",
+    "tpcc_schemas",
+]

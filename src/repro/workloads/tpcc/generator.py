@@ -1,0 +1,102 @@
+"""TPC-C data generation and key-skew helpers."""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.tpcc.schema import last_name
+
+#: NURand C constants (any value in-range is spec-conformant).
+C_LAST = 123
+C_CUST = 217
+C_ITEM = 455
+
+
+def nurand(rng: random.Random, a: int, c: int, x: int, y: int) -> int:
+    """The spec's non-uniform random function NURand(A, x, y)."""
+    return ((rng.randint(0, a) | rng.randint(x, y)) + c) % (y - x + 1) + x
+
+
+def customer_id(rng: random.Random, customers_per_district: int) -> int:
+    return nurand(rng, 1023, C_CUST, 1, customers_per_district)
+
+
+def item_id(rng: random.Random, items: int) -> int:
+    return nurand(rng, 8191, C_ITEM, 1, items)
+
+
+def last_name_number(rng: random.Random, customers_per_district: int) -> int:
+    """A last-name index for by-name lookups, skewed per spec."""
+    span = min(999, max(0, customers_per_district - 1))
+    return nurand(rng, 255, C_LAST, 0, span)
+
+
+def generate_rows(config, rng: random.Random):
+    """Yield (table, row) pairs for the initial database population.
+
+    ``config`` is a :class:`~repro.workloads.tpcc.workload.TpccConfig`.
+    Initial orders seed ORDERS/ORDERLINE/NEWORDER so Order-Status,
+    Stock-Level and Delivery work from the first transaction.
+    """
+    for i_id in range(1, config.items + 1):
+        yield "item", {
+            "i_id": i_id,
+            "i_name": f"item-{i_id}",
+            "i_price": 1 + (i_id % 100) / 10.0,
+            "i_data": "x" * 26,
+        }
+    for w_id in range(1, config.warehouses + 1):
+        yield "warehouse", {
+            "w_id": w_id, "w_name": f"wh-{w_id}",
+            "w_tax": (w_id % 20) / 100.0, "w_ytd": 300000.0,
+        }
+        for i_id in range(1, config.items + 1):
+            yield "stock", {
+                "s_w_id": w_id, "s_i_id": i_id,
+                "s_quantity": rng.randint(10, 100),
+                "s_ytd": 0, "s_order_cnt": 0, "s_remote_cnt": 0,
+            }
+        for d_id in range(1, config.districts_per_warehouse + 1):
+            next_o_id = config.initial_orders_per_district + 1
+            yield "district", {
+                "d_w_id": w_id, "d_id": d_id, "d_name": f"d-{w_id}-{d_id}",
+                "d_tax": (d_id % 20) / 100.0, "d_ytd": 30000.0,
+                "d_next_o_id": next_o_id,
+            }
+            for c_id in range(1, config.customers_per_district + 1):
+                name = last_name((c_id - 1) % 1000)
+                yield "customer", {
+                    "c_w_id": w_id, "c_d_id": d_id, "c_id": c_id,
+                    "c_first": f"first-{c_id}", "c_last": name,
+                    "c_namekey": f"{w_id}:{d_id}:{name}",
+                    "c_balance": -10.0, "c_ytd_payment": 10.0,
+                    "c_payment_cnt": 1, "c_delivery_cnt": 0,
+                    "c_data": "x" * 50,
+                }
+            for o_id in range(1, config.initial_orders_per_district + 1):
+                c_id = rng.randint(1, config.customers_per_district)
+                ol_cnt = rng.randint(5, 15)
+                delivered = o_id <= config.initial_orders_per_district * 7 // 10
+                yield "orders", {
+                    "o_w_id": w_id, "o_d_id": d_id, "o_id": o_id,
+                    "o_c_id": c_id, "o_ckey": f"{w_id}:{d_id}:{c_id}",
+                    "o_entry_d": 0,
+                    "o_carrier_id": rng.randint(1, 10) if delivered else 0,
+                    "o_ol_cnt": ol_cnt,
+                }
+                if not delivered:
+                    yield "neworder", {
+                        "no_w_id": w_id, "no_d_id": d_id, "no_o_id": o_id,
+                        "no_dkey": f"{w_id}:{d_id}",
+                    }
+                for number in range(1, ol_cnt + 1):
+                    yield "orderline", {
+                        "ol_w_id": w_id, "ol_d_id": d_id, "ol_o_id": o_id,
+                        "ol_number": number,
+                        "ol_okey": f"{w_id}:{d_id}:{o_id}",
+                        "ol_i_id": rng.randint(1, config.items),
+                        "ol_supply_w_id": w_id,
+                        "ol_quantity": 5,
+                        "ol_amount": 0.0 if not delivered else rng.uniform(1, 10000) / 100,
+                        "ol_delivery_d": 0 if not delivered else 1,
+                    }

@@ -1,0 +1,125 @@
+"""The nine TPC-C tables.
+
+All tables are hash-distributed on their warehouse id, so one warehouse's
+rows co-locate on one shard — the physical affinity real deployments rely
+on (§V-A). ITEM is read-mostly and replicated to every shard, as is common
+practice (and as GaussDB's replicated-table support intends).
+
+Composite-key lookups that the spec expresses as secondary-key access
+(customer by last name, latest order of a customer, order lines of an
+order) are served by single-column indexes on synthesized key columns
+(``c_namekey``, ``o_ckey``, ``ol_okey``).
+"""
+
+from __future__ import annotations
+
+from repro.storage.catalog import ColumnDef, DistributionSpec, TableSchema
+
+
+def tpcc_schemas() -> list[TableSchema]:
+    """Fresh schema objects for all nine tables."""
+    return [
+        TableSchema(
+            name="warehouse",
+            columns=[ColumnDef("w_id", "int"), ColumnDef("w_name", "text"),
+                     ColumnDef("w_tax", "float"), ColumnDef("w_ytd", "float")],
+            primary_key=("w_id",),
+        ),
+        TableSchema(
+            name="district",
+            columns=[ColumnDef("d_w_id", "int"), ColumnDef("d_id", "int"),
+                     ColumnDef("d_name", "text"), ColumnDef("d_tax", "float"),
+                     ColumnDef("d_ytd", "float"),
+                     ColumnDef("d_next_o_id", "int")],
+            primary_key=("d_w_id", "d_id"),
+        ),
+        TableSchema(
+            name="customer",
+            columns=[ColumnDef("c_w_id", "int"), ColumnDef("c_d_id", "int"),
+                     ColumnDef("c_id", "int"), ColumnDef("c_first", "text"),
+                     ColumnDef("c_last", "text"),
+                     ColumnDef("c_namekey", "text"),
+                     ColumnDef("c_balance", "float"),
+                     ColumnDef("c_ytd_payment", "float"),
+                     ColumnDef("c_payment_cnt", "int"),
+                     ColumnDef("c_delivery_cnt", "int"),
+                     ColumnDef("c_data", "text")],
+            primary_key=("c_w_id", "c_d_id", "c_id"),
+        ),
+        TableSchema(
+            name="history",
+            columns=[ColumnDef("h_id", "int"), ColumnDef("h_c_w_id", "int"),
+                     ColumnDef("h_c_d_id", "int"), ColumnDef("h_c_id", "int"),
+                     ColumnDef("h_w_id", "int"), ColumnDef("h_d_id", "int"),
+                     ColumnDef("h_amount", "float"), ColumnDef("h_date", "int")],
+            primary_key=("h_w_id", "h_id"),
+            distribution=DistributionSpec("hash", "h_w_id"),
+        ),
+        TableSchema(
+            name="neworder",
+            columns=[ColumnDef("no_w_id", "int"), ColumnDef("no_d_id", "int"),
+                     ColumnDef("no_o_id", "int"), ColumnDef("no_dkey", "text")],
+            primary_key=("no_w_id", "no_d_id", "no_o_id"),
+        ),
+        TableSchema(
+            name="orders",
+            columns=[ColumnDef("o_w_id", "int"), ColumnDef("o_d_id", "int"),
+                     ColumnDef("o_id", "int"), ColumnDef("o_c_id", "int"),
+                     ColumnDef("o_ckey", "text"),
+                     ColumnDef("o_entry_d", "int"),
+                     ColumnDef("o_carrier_id", "int"),
+                     ColumnDef("o_ol_cnt", "int")],
+            primary_key=("o_w_id", "o_d_id", "o_id"),
+        ),
+        TableSchema(
+            name="orderline",
+            columns=[ColumnDef("ol_w_id", "int"), ColumnDef("ol_d_id", "int"),
+                     ColumnDef("ol_o_id", "int"), ColumnDef("ol_number", "int"),
+                     ColumnDef("ol_okey", "text"),
+                     ColumnDef("ol_i_id", "int"),
+                     ColumnDef("ol_supply_w_id", "int"),
+                     ColumnDef("ol_quantity", "int"),
+                     ColumnDef("ol_amount", "float"),
+                     ColumnDef("ol_delivery_d", "int")],
+            primary_key=("ol_w_id", "ol_d_id", "ol_o_id", "ol_number"),
+        ),
+        TableSchema(
+            name="item",
+            columns=[ColumnDef("i_id", "int"), ColumnDef("i_name", "text"),
+                     ColumnDef("i_price", "float"), ColumnDef("i_data", "text")],
+            primary_key=("i_id",),
+            distribution=DistributionSpec("replicated"),
+        ),
+        TableSchema(
+            name="stock",
+            columns=[ColumnDef("s_w_id", "int"), ColumnDef("s_i_id", "int"),
+                     ColumnDef("s_quantity", "int"), ColumnDef("s_ytd", "int"),
+                     ColumnDef("s_order_cnt", "int"),
+                     ColumnDef("s_remote_cnt", "int")],
+            primary_key=("s_w_id", "s_i_id"),
+        ),
+    ]
+
+
+#: Indexes created at load time: table -> columns.
+TPCC_INDEXES = {
+    "customer": ("c_namekey",),
+    "orders": ("o_ckey",),
+    "orderline": ("ol_okey",),
+    "neworder": ("no_dkey",),
+}
+
+TPCC_SCHEMAS = {schema.name: schema for schema in tpcc_schemas()}
+
+#: The 16 last-name syllables of the spec (clause 4.3.2.3).
+LAST_NAME_SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI",
+    "CALLY", "ATION", "EING",
+)
+
+
+def last_name(number: int) -> str:
+    """Spec-conformant last-name generation from a number 0-999."""
+    return (LAST_NAME_SYLLABLES[(number // 100) % 10]
+            + LAST_NAME_SYLLABLES[(number // 10) % 10]
+            + LAST_NAME_SYLLABLES[number % 10])

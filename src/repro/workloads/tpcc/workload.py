@@ -1,0 +1,407 @@
+"""The five TPC-C transactions against the cluster's CN API.
+
+Standard mix (New-Order 45%, Payment 43%, Order-Status 4%, Delivery 4%,
+Stock-Level 4%), NURand key skew, 60/40 by-name/by-id customer selection,
+1% intentional New-Order rollbacks. The paper's workload-affinity knob is
+``remote_txn_pct``: the probability that a transaction targets a warehouse
+homed in a *different region* than its terminal's CN (§V-A).
+
+Read-only transactions (Order-Status, Stock-Level) go through the ROR path
+when the cluster has it enabled, pinned to one RCP snapshot per query;
+otherwise they take a provider snapshot and read primaries — exactly the
+baseline/GlobalDB contrast Figs. 6c-6d measure.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass
+
+from repro.errors import TransactionAborted
+from repro.workloads.tpcc.generator import (
+    customer_id,
+    generate_rows,
+    item_id,
+    last_name_number,
+)
+from repro.workloads.tpcc.schema import TPCC_INDEXES, last_name, tpcc_schemas
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.builder import GlobalDB
+    from repro.cluster.cn import ComputingNode
+
+
+@dataclass
+class TpccConfig:
+    """Scale and behaviour knobs (defaults sized for fast simulation)."""
+
+    warehouses: int = 6
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30
+    items: int = 100
+    initial_orders_per_district: int = 10
+    remote_txn_pct: float = 0.0
+    new_order_abort_pct: float = 0.01
+    by_name_pct: float = 0.60
+    payment_remote_customer_pct: float = 0.15
+    stock_level_orders: int = 8
+    stock_level_threshold: int = 60
+    delivery_districts: int = 10
+    #: When False (default), the spec's "remote warehouse" choices (1% of
+    #: order lines, 15% of payments) stay within the terminal's region, so
+    #: a run with remote_txn_pct=0 is 100% region-local as in §V-A.
+    cross_region_spec_remotes: bool = False
+    #: Standard mix weights: (new_order, payment, order_status, delivery,
+    #: stock_level).
+    mix: tuple[float, float, float, float, float] = (0.45, 0.43, 0.04, 0.04, 0.04)
+    seed: int = 42
+
+
+class TpccWorkload:
+    """Full-mix TPC-C."""
+
+    name = "tpcc"
+
+    def __init__(self, config: TpccConfig | None = None):
+        self.config = config or TpccConfig()
+        self._rngs: dict[int, random.Random] = {}
+        self._warehouse_region: dict[int, str] = {}
+        self._warehouses_by_region: dict[str, list[int]] = {}
+        self._regions: list[str] = []
+        self.loaded_rows = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def setup(self, db: "GlobalDB") -> None:
+        for schema in tpcc_schemas():
+            db.create_table_offline(schema,
+                                    indexes=TPCC_INDEXES.get(schema.name, ()))
+        rng = random.Random(self.config.seed)
+        by_table: dict[str, list[dict]] = {}
+        for table, row in generate_rows(self.config, rng):
+            by_table.setdefault(table, []).append(row)
+        self.loaded_rows = 0
+        for table, rows in by_table.items():
+            self.loaded_rows += db.bulk_load(table, rows)
+        # Warehouse -> home region mapping (for the remote-txn knob).
+        self._warehouse_region = {}
+        self._warehouses_by_region = {}
+        for w_id in range(1, self.config.warehouses + 1):
+            shard = db.shard_map.shard_for_value("warehouse", w_id)
+            region = db.primaries[shard].region
+            self._warehouse_region[w_id] = region
+            self._warehouses_by_region.setdefault(region, []).append(w_id)
+        self._regions = list(db.config.topology.regions)
+
+    def _rng(self, terminal_id: int) -> random.Random:
+        rng = self._rngs.get(terminal_id)
+        if rng is None:
+            rng = random.Random(self.config.seed * 1_000_003 + terminal_id)
+            self._rngs[terminal_id] = rng
+        return rng
+
+    def home_warehouse(self, cn: "ComputingNode", terminal_id: int,
+                       rng: random.Random) -> int:
+        """The terminal's warehouse, honouring ``remote_txn_pct``."""
+        local = self._warehouses_by_region.get(cn.region, [])
+        remote = [w for w in self._warehouse_region
+                  if self._warehouse_region[w] != cn.region]
+        if local and remote and rng.random() < self.config.remote_txn_pct:
+            return rng.choice(remote)
+        if local:
+            return local[terminal_id % len(local)]
+        return rng.randint(1, self.config.warehouses)
+
+    def _other_warehouse(self, rng: random.Random, home: int) -> int:
+        """A different warehouse, same-region unless the config allows
+        cross-region spec remotes."""
+        if self.config.cross_region_spec_remotes:
+            candidates = [w for w in self._warehouse_region if w != home]
+        else:
+            region = self._warehouse_region.get(home)
+            candidates = [w for w in self._warehouses_by_region.get(region, [])
+                          if w != home]
+        return rng.choice(candidates) if candidates else home
+
+    def _supply_warehouse(self, rng: random.Random, home: int) -> int:
+        """1% of order lines come from a different warehouse (spec)."""
+        if self.config.warehouses > 1 and rng.random() < 0.01:
+            return self._other_warehouse(rng, home)
+        return home
+
+    # ------------------------------------------------------------------
+    # Driver entry point
+    # ------------------------------------------------------------------
+    def transaction(self, cn: "ComputingNode", terminal_id: int):
+        rng = self._rng(terminal_id)
+        w_id = self.home_warehouse(cn, terminal_id, rng)
+        draw = rng.random()
+        no, pay, status, deliver, _stock = self.config.mix
+        if draw < no:
+            yield from self.new_order(cn, rng, w_id)
+            return "new_order"
+        if draw < no + pay:
+            yield from self.payment(cn, rng, w_id)
+            return "payment"
+        if draw < no + pay + status:
+            yield from self.order_status(cn, rng, w_id)
+            return "order_status"
+        if draw < no + pay + status + deliver:
+            yield from self.delivery(cn, rng, w_id)
+            return "delivery"
+        yield from self.stock_level(cn, rng, w_id)
+        return "stock_level"
+
+    # ------------------------------------------------------------------
+    # New-Order
+    # ------------------------------------------------------------------
+    def new_order(self, cn: "ComputingNode", rng: random.Random, w_id: int):
+        config = self.config
+        d_id = rng.randint(1, config.districts_per_warehouse)
+        c_id = customer_id(rng, config.customers_per_district)
+        ol_cnt = rng.randint(5, 15)
+        rollback = rng.random() < config.new_order_abort_pct
+        lines = []
+        seen_items: set[tuple[int, int]] = set()
+        for number in range(1, ol_cnt + 1):
+            i_id = item_id(rng, config.items)
+            if rollback and number == ol_cnt:
+                i_id = 0  # unused item id: forces the spec's 1% rollback
+            supply_w = self._supply_warehouse(rng, w_id)
+            if (supply_w, i_id) in seen_items:
+                continue  # duplicate stock row within one order
+            seen_items.add((supply_w, i_id))
+            lines.append((number, i_id, supply_w, rng.randint(1, 10)))
+        # Lock stock rows in a global order to avoid deadlocks between
+        # concurrent New-Orders touching the same hot (NURand-skewed) items.
+        lines.sort(key=lambda line: (line[2], line[1]))
+
+        ctx = yield from cn.g_begin()
+        warehouse = yield from cn.g_read(ctx, "warehouse", (w_id,))
+        district = yield from cn.g_read_for_update(ctx, "district", (w_id, d_id))
+        o_id = district["d_next_o_id"]
+        yield from cn.g_update(ctx, "district", (w_id, d_id),
+                               {"d_next_o_id": o_id + 1})
+        customer = yield from cn.g_read(ctx, "customer", (w_id, d_id, c_id))
+        yield from cn.g_insert(ctx, "orders", {
+            "o_w_id": w_id, "o_d_id": d_id, "o_id": o_id, "o_c_id": c_id,
+            "o_ckey": f"{w_id}:{d_id}:{c_id}", "o_entry_d": cn.env.now,
+            "o_carrier_id": 0, "o_ol_cnt": ol_cnt,
+        })
+        yield from cn.g_insert(ctx, "neworder", {
+            "no_w_id": w_id, "no_d_id": d_id, "no_o_id": o_id,
+            "no_dkey": f"{w_id}:{d_id}",
+        })
+        total = 0.0
+        for number, i_id, supply_w, quantity in lines:
+            item = yield from cn.g_read(ctx, "item", (i_id,))
+            if item is None:
+                yield from cn.g_abort(ctx)
+                raise TransactionAborted("new-order: unused item id (1% rule)")
+            stock = yield from cn.g_update(ctx, "stock", (supply_w, i_id), {
+                "s_quantity": lambda q, want=quantity: (
+                    q - want if q is not None and q - want >= 10
+                    else (q or 0) - want + 91),
+                "s_ytd": lambda ytd, want=quantity: (ytd or 0) + want,
+                "s_order_cnt": lambda count: (count or 0) + 1,
+                "s_remote_cnt": lambda count, remote=(supply_w != w_id): (
+                    (count or 0) + (1 if remote else 0)),
+            })
+            amount = quantity * item["i_price"]
+            total += amount
+            yield from cn.g_insert(ctx, "orderline", {
+                "ol_w_id": w_id, "ol_d_id": d_id, "ol_o_id": o_id,
+                "ol_number": number, "ol_okey": f"{w_id}:{d_id}:{o_id}",
+                "ol_i_id": i_id, "ol_supply_w_id": supply_w,
+                "ol_quantity": quantity, "ol_amount": amount,
+                "ol_delivery_d": 0,
+            })
+        del warehouse, customer, total
+        yield from cn.g_commit(ctx)
+
+    # ------------------------------------------------------------------
+    # Payment
+    # ------------------------------------------------------------------
+    def payment(self, cn: "ComputingNode", rng: random.Random, w_id: int):
+        config = self.config
+        d_id = rng.randint(1, config.districts_per_warehouse)
+        amount = rng.uniform(1, 5000)
+        if (config.warehouses > 1
+                and rng.random() < config.payment_remote_customer_pct):
+            c_w = self._other_warehouse(rng, w_id)
+            c_d = rng.randint(1, config.districts_per_warehouse)
+        else:
+            c_w, c_d = w_id, d_id
+
+        ctx = yield from cn.g_begin()
+        yield from cn.g_update(ctx, "warehouse", (w_id,), {
+            "w_ytd": lambda ytd, add=amount: (ytd or 0) + add})
+        yield from cn.g_update(ctx, "district", (w_id, d_id), {
+            "d_ytd": lambda ytd, add=amount: (ytd or 0) + add})
+        if rng.random() < config.by_name_pct:
+            name = last_name(last_name_number(rng, config.customers_per_district))
+            rows = yield from cn.g_lookup(ctx, "customer", "c_namekey",
+                                          f"{c_w}:{c_d}:{name}", c_w)
+            if not rows:
+                yield from cn.g_abort(ctx)
+                raise TransactionAborted("payment: no customer with last name")
+            rows.sort(key=lambda row: row["c_first"])
+            customer = rows[(len(rows) - 1) // 2]  # spec: middle by c_first
+            c_id = customer["c_id"]
+        else:
+            c_id = customer_id(rng, config.customers_per_district)
+        yield from cn.g_update(ctx, "customer", (c_w, c_d, c_id), {
+            "c_balance": lambda balance, sub=amount: (balance or 0) - sub,
+            "c_ytd_payment": lambda ytd, add=amount: (ytd or 0) + add,
+            "c_payment_cnt": lambda count: (count or 0) + 1,
+        })
+        yield from cn.g_insert(ctx, "history", {
+            "h_id": ctx.txid, "h_c_w_id": c_w, "h_c_d_id": c_d, "h_c_id": c_id,
+            "h_w_id": w_id, "h_d_id": d_id, "h_amount": amount,
+            "h_date": cn.env.now,
+        })
+        yield from cn.g_commit(ctx)
+
+    # ------------------------------------------------------------------
+    # Order-Status (read-only)
+    # ------------------------------------------------------------------
+    def order_status(self, cn: "ComputingNode", rng: random.Random, w_id: int,
+                     extra_warehouse: int | None = None):
+        config = self.config
+        d_id = rng.randint(1, config.districts_per_warehouse)
+        read_ts, use_ror = yield from cn.ro_snapshot(
+            ["customer", "orders", "orderline"])
+        if rng.random() < config.by_name_pct:
+            name = last_name(last_name_number(rng, config.customers_per_district))
+            rows = yield from cn.g_ro_lookup(read_ts, use_ror, "customer",
+                                             "c_namekey", f"{w_id}:{d_id}:{name}",
+                                             w_id)
+            if not rows:
+                raise TransactionAborted("order-status: no such customer")
+            rows.sort(key=lambda row: row["c_first"])
+            customer = rows[(len(rows) - 1) // 2]
+        else:
+            c_id = customer_id(rng, config.customers_per_district)
+            customer = yield from cn.g_ro_read(read_ts, use_ror, "customer",
+                                               (w_id, d_id, c_id))
+            if customer is None:
+                raise TransactionAborted("order-status: no such customer")
+        orders = yield from cn.g_ro_lookup(
+            read_ts, use_ror, "orders", "o_ckey",
+            f"{w_id}:{d_id}:{customer['c_id']}", w_id)
+        if orders:
+            latest = max(orders, key=lambda row: row["o_id"])
+            yield from cn.g_ro_lookup(
+                read_ts, use_ror, "orderline", "ol_okey",
+                f"{w_id}:{d_id}:{latest['o_id']}", w_id)
+        if extra_warehouse is not None:
+            # Multi-shard variant (§V-B): also check the same customer
+            # position in a warehouse homed on another shard.
+            c_id = customer_id(rng, config.customers_per_district)
+            yield from cn.g_ro_read(read_ts, use_ror, "customer",
+                                    (extra_warehouse, d_id, c_id))
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def delivery(self, cn: "ComputingNode", rng: random.Random, w_id: int):
+        config = self.config
+        carrier = rng.randint(1, 10)
+        districts = min(config.delivery_districts,
+                        config.districts_per_warehouse)
+        ctx = yield from cn.g_begin()
+        for d_id in range(1, districts + 1):
+            pending = yield from cn.g_lookup(ctx, "neworder", "no_dkey",
+                                             f"{w_id}:{d_id}", w_id)
+            if not pending:
+                continue
+            oldest = min(row["no_o_id"] for row in pending)
+            yield from cn.g_delete(ctx, "neworder", (w_id, d_id, oldest))
+            order = yield from cn.g_read(ctx, "orders", (w_id, d_id, oldest))
+            if order is None:
+                continue
+            yield from cn.g_update(ctx, "orders", (w_id, d_id, oldest),
+                                   {"o_carrier_id": carrier})
+            lines = yield from cn.g_lookup(ctx, "orderline", "ol_okey",
+                                           f"{w_id}:{d_id}:{oldest}", w_id)
+            total = 0.0
+            for line in lines:
+                total += line["ol_amount"]
+                yield from cn.g_update(
+                    ctx, "orderline",
+                    (w_id, d_id, oldest, line["ol_number"]),
+                    {"ol_delivery_d": cn.env.now})
+            yield from cn.g_update(ctx, "customer",
+                                   (w_id, d_id, order["o_c_id"]), {
+                "c_balance": lambda balance, add=total: (balance or 0) + add,
+                "c_delivery_cnt": lambda count: (count or 0) + 1,
+            })
+        yield from cn.g_commit(ctx)
+
+    # ------------------------------------------------------------------
+    # Stock-Level (read-only)
+    # ------------------------------------------------------------------
+    def stock_level(self, cn: "ComputingNode", rng: random.Random, w_id: int,
+                    extra_warehouse: int | None = None):
+        config = self.config
+        d_id = rng.randint(1, config.districts_per_warehouse)
+        threshold = rng.randint(10, config.stock_level_threshold)
+        read_ts, use_ror = yield from cn.ro_snapshot(
+            ["district", "orderline", "stock"])
+        district = yield from cn.g_ro_read(read_ts, use_ror, "district",
+                                           (w_id, d_id))
+        if district is None:
+            raise TransactionAborted("stock-level: no such district")
+        next_o_id = district["d_next_o_id"]
+        okeys = [f"{w_id}:{d_id}:{o_id}"
+                 for o_id in range(max(1, next_o_id - config.stock_level_orders),
+                                   next_o_id)]
+        # One ranged statement over the last N orders' lines (as the spec's
+        # single SQL query would), not one RPC per order.
+        lines = yield from cn.g_ro_lookup_batch(read_ts, use_ror, "orderline",
+                                                "ol_okey", okeys, w_id)
+        item_ids = sorted({line["ol_i_id"] for line in lines})
+        low = 0
+        warehouses = [w_id] if extra_warehouse is None else [w_id, extra_warehouse]
+        for check_w in warehouses:
+            stocks = yield from cn.g_ro_read_batch(
+                read_ts, use_ror, "stock",
+                [(check_w, i_id) for i_id in item_ids])
+            low += sum(1 for stock in stocks
+                       if stock is not None and stock["s_quantity"] < threshold)
+        return low
+
+
+class ReadOnlyTpccWorkload(TpccWorkload):
+    """§V-B's read-only benchmark: only Order-Status and Stock-Level,
+    with ``multi_shard_pct`` of transactions touching a second warehouse
+    homed on a different shard (the paper uses 50%)."""
+
+    name = "tpcc-readonly"
+
+    def __init__(self, config: TpccConfig | None = None,
+                 multi_shard_pct: float = 0.5):
+        super().__init__(config)
+        self.multi_shard_pct = multi_shard_pct
+
+    def _other_shard_warehouse(self, db_regions_unused, rng: random.Random,
+                               w_id: int) -> int | None:
+        candidates = [w for w, region in self._warehouse_region.items()
+                      if w != w_id and region != self._warehouse_region[w_id]]
+        if not candidates:
+            candidates = [w for w in self._warehouse_region if w != w_id]
+        return rng.choice(candidates) if candidates else None
+
+    def transaction(self, cn: "ComputingNode", terminal_id: int):
+        rng = self._rng(terminal_id)
+        w_id = self.home_warehouse(cn, terminal_id, rng)
+        extra = None
+        if rng.random() < self.multi_shard_pct:
+            extra = self._other_shard_warehouse(None, rng, w_id)
+        if rng.random() < 0.5:
+            yield from self.order_status(cn, rng, w_id, extra_warehouse=extra)
+            return "order_status"
+        yield from self.stock_level(cn, rng, w_id, extra_warehouse=extra)
+        return "stock_level"

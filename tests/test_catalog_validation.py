@@ -1,0 +1,30 @@
+"""Schema validation details."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.catalog import ColumnDef, DistributionSpec, TableSchema
+
+
+def test_unknown_distribution_method_rejected():
+    with pytest.raises(StorageError, match="unknown distribution"):
+        TableSchema("t", [ColumnDef("k")], ("k",),
+                    distribution=DistributionSpec("replication"))
+
+
+def test_known_methods_accepted():
+    for method in ("hash", "range", "replicated"):
+        schema = TableSchema("t", [ColumnDef("k")], ("k",),
+                             distribution=DistributionSpec(method, "k"))
+        assert schema.distribution.method == method
+
+
+def test_key_of_missing_column():
+    schema = TableSchema("t", [ColumnDef("a"), ColumnDef("b")], ("a", "b"))
+    with pytest.raises(StorageError, match="missing primary key"):
+        schema.key_of({"a": 1})
+
+
+def test_column_names_helper():
+    schema = TableSchema("t", [ColumnDef("a"), ColumnDef("b")], ("a",))
+    assert schema.column_names() == ["a", "b"]

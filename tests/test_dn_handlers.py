@@ -1,0 +1,171 @@
+"""Tests driving data-node RPC handlers directly (batches, status,
+heartbeats, conflicts, unknown requests) and GTM server details."""
+
+import pytest
+
+from repro import ClusterConfig, TxnMode, build_cluster, one_region
+from repro.errors import WriteConflict
+from repro.sim.units import ms, us
+
+
+def make_db():
+    db = build_cluster(ClusterConfig.globaldb(one_region()))
+    session = db.session()
+    session.create_table("t", [("k", "int"), ("v", "int")],
+                         primary_key=["k"])
+    session.begin()
+    for i in range(30):
+        session.insert("t", {"k": i, "v": i * 10})
+    session.commit()
+    db.run_for(0.3)
+    return db, session
+
+
+def rpc(db, src, dst, body, timeout_ns=None):
+    request = db.network.request(src.name, dst, body, timeout_ns=timeout_ns)
+
+    def waiter():
+        reply = yield request
+        return reply
+
+    return db.env.run(until=db.env.process(waiter()))
+
+
+class TestBatchReads:
+    def test_read_batch_on_primary(self):
+        db, session = make_db()
+        cn = db.cns[0]
+        shard = db.shard_map.shard_for_key("t", (0,))
+        keys = [(k,) for k in range(30)
+                if db.shard_map.shard_for_key("t", (k,)) == shard]
+        rows, read_ts = rpc(db, cn, db.primaries[shard].name,
+                            ("read_batch", None, None, "t", keys))
+        assert len(rows) == len(keys)
+        assert all(row is not None for row in rows)
+        assert read_ts > 0
+
+    def test_read_batch_missing_keys_give_none(self):
+        db, session = make_db()
+        cn = db.cns[0]
+        shard = db.shard_map.shard_for_key("t", (999,))
+        rows, _ts = rpc(db, cn, db.primaries[shard].name,
+                        ("read_batch", None, None, "t", [(999,)]))
+        assert rows == [None]
+
+    def test_replica_batch_read(self):
+        db, session = make_db()
+        cn = db.cns[0]
+        shard = db.shard_map.shard_for_key("t", (0,))
+        keys = [(k,) for k in range(30)
+                if db.shard_map.shard_for_key("t", (k,)) == shard]
+        replica = db.replicas[shard][0]
+        rcp = cn.rcp_state.rcp
+        rows, _ts = rpc(db, cn, replica.name,
+                        ("read_replica_batch", rcp, "t", keys))
+        assert all(row is not None for row in rows)
+
+
+class TestStatusSurface:
+    def test_primary_status_fields(self):
+        db, _session = make_db()
+        status = rpc(db, db.cns[0], db.primaries[0].name, ("status",))
+        assert status["role"] == "primary"
+        assert status["up"] is True
+        assert status["max_commit_ts"] > 0
+        assert status["shard"] == 0
+
+    def test_replica_status_reports_backlog_in_load(self):
+        db, _session = make_db()
+        replica = db.replicas[0][0]
+        status = rpc(db, db.cns[0], replica.name, ("status",))
+        assert status["role"] == "replica"
+        assert status["load"] >= 0
+
+    def test_unknown_request_fails_cleanly(self):
+        db, _session = make_db()
+        request = db.network.request(db.cns[0].name, db.primaries[0].name,
+                                     ("frobnicate",))
+
+        def waiter():
+            try:
+                yield request
+            except ValueError as exc:
+                return str(exc)
+
+        message = db.env.run(until=db.env.process(waiter()))
+        assert "unknown request" in message
+
+
+class TestHeartbeatRpc:
+    def test_gclock_heartbeat_uses_clock_lower_bound(self):
+        db, _session = make_db()
+        primary = db.primaries[0]
+        before = primary.engine.last_commit_ts
+        _ok, ts = rpc(db, db.cns[0], primary.name, ("heartbeat",))
+        assert ts >= before
+        earliest, latest = primary.gclock.bounds()
+        assert ts <= latest  # never beyond the clock's upper bound
+
+    def test_gtm_heartbeat_contacts_server(self):
+        db = build_cluster(ClusterConfig.baseline(one_region()))
+        session = db.session()
+        session.create_table("t", [("k", "int")], primary_key=["k"])
+        begins_before = db.gtm.begin_requests
+        rpc(db, db.cns[0], db.primaries[0].name, ("heartbeat",))
+        assert db.gtm.begin_requests == begins_before + 1
+
+
+class TestWriteConflictSurface:
+    def test_conflicting_update_times_out_and_reports(self):
+        db, session = make_db()
+        cn = db.cns[0]
+        shard = db.shard_map.shard_for_key("t", (0,))
+        key = next(k for k in range(30)
+                   if db.shard_map.shard_for_key("t", (k,)) == shard)
+        primary = db.primaries[shard]
+        # Shrink the lock timeout so the test is fast.
+        primary.engine.locks.default_timeout_ns = ms(20)
+
+        def holder():
+            ctx = yield from cn.g_begin()
+            yield from cn.g_update(ctx, "t", (key,), {"v": 1})
+            yield db.env.timeout(ms(100))  # hold the lock
+            yield from cn.g_commit(ctx)
+
+        outcome = []
+
+        def contender():
+            yield db.env.timeout(ms(2))
+            ctx = yield from cn.g_begin()
+            try:
+                yield from cn.g_update(ctx, "t", (key,), {"v": 2})
+            except WriteConflict as exc:
+                outcome.append(str(exc))
+
+        db.env.process(holder())
+        db.env.process(contender())
+        db.run_for(0.3)
+        assert outcome and "timeout" in outcome[0]
+
+
+class TestGtmServerDetails:
+    def test_service_time_delays_replies(self):
+        db = build_cluster(ClusterConfig.baseline(one_region()))
+        cn = next(c for c in db.cns if c.region == db.gtm.region)
+        start = db.env.now
+        rpc(db, cn, "gtms", ("begin",))
+        elapsed = db.env.now - start
+        # Same-server link is ~free; the 2 us service time dominates.
+        assert elapsed >= us(2)
+
+    def test_get_state_snapshot(self):
+        db = build_cluster(ClusterConfig.baseline(one_region()))
+        state = rpc(db, db.cns[0], "gtms", ("get_state",))
+        assert state["mode"] is TxnMode.GTM
+        assert state["counter"] >= 0
+
+    def test_report_gclock_raises_watermarks(self):
+        db = build_cluster(ClusterConfig.baseline(one_region()))
+        rpc(db, db.cns[0], "gtms", ("report_gclock", 10**15, 70_000))
+        assert db.gtm.max_gclock_seen == 10**15
+        assert db.gtm.max_err_seen == 70_000

@@ -1,0 +1,33 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; breaking one silently would be a
+regression in the library's public story.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example} printed nothing"
+
+
+def test_quickstart_output_mentions_key_concepts(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Replica Consistency Point" in out
+    assert "GTM mode" in out
+    assert "dwell" in out

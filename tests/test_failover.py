@@ -1,0 +1,192 @@
+"""Primary-failure and promotion tests (§IV's availability story)."""
+
+import pytest
+
+from repro import ClusterConfig, TransactionAborted, build_cluster, one_region, three_city
+from repro.sim.units import ms
+
+
+def build_failover_db(topology=None, **overrides):
+    overrides.setdefault("auto_failover", True)
+    overrides.setdefault("failover_grace_ns", ms(200))
+    return build_cluster(ClusterConfig.globaldb(topology or one_region(),
+                                                **overrides))
+
+
+LOADED_ROWS = 48
+
+
+def load_accounts(db, rows=LOADED_ROWS):
+    session = db.session()
+    session.create_table("accounts", [("id", "int"), ("balance", "int")],
+                         primary_key=["id"])
+    session.begin()
+    for i in range(rows):
+        session.insert("accounts", {"id": i, "balance": 100})
+    session.commit()
+    db.run_for(0.3)
+    return session
+
+
+def key_on_shard(db, shard):
+    """A *loaded* key homed on ``shard``."""
+    for i in range(LOADED_ROWS):
+        if db.shard_map.shard_for_key("accounts", (i,)) == shard:
+            return i
+    raise AssertionError("no loaded key found for shard")
+
+
+class TestReplicaServiceDuringOutage:
+    def test_reads_survive_primary_failure_without_promotion(self):
+        """Paper: replicas keep serving read-only queries while the primary
+        is down (even before/without promotion)."""
+        db = build_cluster(ClusterConfig.globaldb(three_city()))
+        session = load_accounts(db)
+        victim_shard = 0
+        db.primaries[victim_shard].fail()
+        db.run_for(0.4)  # metrics notice
+        key = key_on_shard(db, victim_shard)
+        reader = db.session(region=db.primaries[1].region)
+        row = reader.read_only("accounts", (key,))
+        assert row is not None and row["balance"] == 100
+
+    def test_writes_to_dead_primary_abort_not_hang(self):
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        session = load_accounts(db)
+        victim_shard = 2
+        db.primaries[victim_shard].fail()
+        key = key_on_shard(db, victim_shard)
+        session.begin()
+        with pytest.raises(TransactionAborted):
+            session.update("accounts", (key,), {"balance": 1})
+        assert not session.in_txn  # the abort cleaned up the context
+
+
+class TestPromotion:
+    def test_promotion_restores_writes(self):
+        db = build_failover_db()
+        session = load_accounts(db)
+        victim_shard = 1
+        old_primary = db.primaries[victim_shard]
+        old_name = old_primary.name
+        old_primary.fail()
+        db.run_for(1.5)  # grace + promotion + placement push
+        assert db.failover.events, "no failover event recorded"
+        event = db.failover.events[0]
+        assert event.shard == victim_shard
+        assert event.old_primary == old_name
+        new_primary = db.primaries[victim_shard]
+        assert new_primary.name != old_name
+        assert new_primary.is_primary
+        # Writes to the shard work again.
+        key = key_on_shard(db, victim_shard)
+        session.begin()
+        session.update("accounts", (key,), {"balance": 555})
+        session.commit()
+        session.begin()
+        assert session.read("accounts", (key,))["balance"] == 555
+        session.commit()
+
+    def test_promotion_picks_most_caught_up_replica(self):
+        db = build_failover_db()
+        load_accounts(db)
+        victim_shard = 0
+        # Handicap one replica: pause its shipping so it lags.
+        laggard = db.replicas[victim_shard][0]
+        for shipper in db.shippers:
+            if shipper.dst == laggard.name:
+                shipper.pause()
+        session = db.session()
+        key = key_on_shard(db, victim_shard)
+        for value in range(5):
+            session.begin()
+            session.update("accounts", (key,), {"balance": value})
+            session.commit()
+        db.run_for(0.3)
+        db.primaries[victim_shard].fail()
+        db.run_for(1.5)
+        event = db.failover.events[0]
+        assert event.new_primary != laggard.name
+
+    def test_surviving_replicas_rebuilt_and_replicating(self):
+        db = build_failover_db()
+        session = load_accounts(db)
+        victim_shard = 1
+        db.primaries[victim_shard].fail()
+        db.run_for(1.5)
+        key = key_on_shard(db, victim_shard)
+        session.begin()
+        session.update("accounts", (key,), {"balance": 777})
+        commit_ts = session.commit()
+        db.run_for(1.0)
+        for replica in db.replicas[victim_shard]:
+            if replica.failed:
+                continue
+            from repro.storage.snapshot import Snapshot
+            row = replica.store.read("accounts", (key,), Snapshot(commit_ts))
+            assert row is not None and row["balance"] == 777
+
+    def test_rcp_recovers_after_promotion(self):
+        db = build_failover_db()
+        session = load_accounts(db)
+        db.primaries[0].fail()
+        db.run_for(1.5)
+        rcp_before = session.rcp
+        db.run_for(0.5)
+        assert session.rcp > rcp_before
+
+    def test_async_failover_can_lose_tail_commits(self):
+        """The paper's acknowledged trade-off: asynchronous replication can
+        lose the unreplicated tail on failover. Stop shipping entirely,
+        commit, kill the primary: the committed value must be gone after
+        promotion — and the event must report the loss window."""
+        db = build_failover_db()
+        session = load_accounts(db)
+        victim_shard = 0
+        key = key_on_shard(db, victim_shard)
+        for shipper in db.shippers:
+            if shipper.src == db.primaries[victim_shard].name:
+                shipper.pause()
+        session.begin()
+        session.update("accounts", (key,), {"balance": 12345})
+        session.commit()
+        db.primaries[victim_shard].fail()
+        db.run_for(1.5)
+        event = db.failover.events[0]
+        assert event.lost_commit_ts_window > 0
+        reader = db.session()
+        row = reader.read_only("accounts", (key,))
+        assert row["balance"] == 100  # the tail write is gone
+
+    def test_no_promotion_when_all_replicas_dead(self):
+        db = build_failover_db()
+        load_accounts(db)
+        for replica in db.replicas[0]:
+            replica.fail()
+        db.primaries[0].fail()
+        db.run_for(1.5)
+        assert not db.failover.events
+        assert db.primaries[0].failed  # shard simply stays down
+
+    def test_in_doubt_transactions_aborted_on_promotion(self):
+        """A transaction mid-commit when the primary dies is in doubt on
+        the replica (PENDING_COMMIT replayed, outcome lost): promotion
+        aborts it and readers unblock."""
+        db = build_failover_db()
+        session = load_accounts(db)
+        victim_shard = 0
+        key = key_on_shard(db, victim_shard)
+        primary = db.primaries[victim_shard]
+        # Forge the in-doubt state: pending logged, no outcome, then death.
+        txid = 999_999
+        primary.engine.begin(txid)
+        primary.engine.update(txid, "accounts", (key,), {"balance": 1})
+        primary.engine.log_pending_commit(txid)
+        db.run_for(0.3)  # records reach replicas
+        primary.fail()
+        db.run_for(1.5)
+        event = db.failover.events[0]
+        assert event.in_doubt_aborted >= 1
+        reader = db.session()
+        row = reader.read_only("accounts", (key,))
+        assert row["balance"] == 100  # the in-doubt write rolled back

@@ -1,0 +1,120 @@
+"""Regression test for the paper's Listing 1 anomaly.
+
+The scenario: during a GTM -> GClock migration, a transaction that began
+in GTM mode reaches commit while the GTM server is in DUAL mode. A node
+already in DUAL has pushed a large clock-derived timestamp into the server
+(from a *fast* clock), so the GTM transaction receives a large DUAL
+timestamp. A transaction starting right after on a node that has already
+cut over to GClock — with a *slow* clock — takes a pure clock snapshot. If
+the GTM transaction committed without waiting, that snapshot can be
+smaller than its commit timestamp and miss the committed update.
+
+The fix (§III-A): GTM-mode transactions committing while the server is in
+DUAL wait out twice the maximum error bound observed during the
+transition — exactly the width of the two-sided clock-skew window. These
+tests build the interleaving with controlled skew and show (a) the wait
+restores visibility and (b) without the wait the anomaly genuinely occurs.
+"""
+
+import pytest
+
+from repro.clocks import (
+    ClockSyncConfig,
+    ClockSyncDaemon,
+    GClockSource,
+    GlobalTimeDevice,
+    PhysicalClock,
+)
+from repro.sim import Environment, ms, us
+from repro.sim.network import Network
+from repro.sim.rand import RandomStreams
+from repro.txn import GTMServer, TimestampProvider, TxnMode
+
+#: Controlled skew: node3's clock runs fast, node2's slow, both inside the
+#: error bound (60 us sync RTT + drift).
+SKEW = us(50)
+
+
+def build_listing1_rig():
+    env = Environment()
+    streams = RandomStreams(11)
+    network = Network(env)
+    gtm = GTMServer(env, network, "gtms", "east", service_time_ns=0)
+    device = GlobalTimeDevice(env, "east")
+    providers = []
+    clocks = []
+    for index in range(3):
+        name = f"node{index + 1}"
+        clock = PhysicalClock(env, name, streams.stream(f"c{index}"),
+                              max_drift_ppm=0.0)
+        sync = ClockSyncDaemon(env, clock, device, ClockSyncConfig(), name)
+        gclock = GClockSource(env, clock, sync)
+        network.add_endpoint(name, "east")
+        network.set_link(name, "gtms", latency_ns=us(1))
+        providers.append(TimestampProvider(env, network, name, gclock,
+                                           "gtms", mode=TxnMode.GTM))
+        clocks.append(clock)
+    env.run(until=ms(5))
+    # Freeze syncing and install the skew: clocks now hold their offsets.
+    device.fail()
+    clocks[1].step(-SKEW)  # node2: slow
+    clocks[2].step(+SKEW)  # node3: fast
+    return env, network, gtm, providers
+
+
+def run_interleaving(env, network, gtm, providers, honor_wait: bool):
+    node1, node2, node3 = providers
+    log = {}
+
+    def scenario():
+        gtm.set_mode(TxnMode.DUAL)
+        # Node1 begins Trx1 in GTM mode before transitioning.
+        _read_ts, trx1_mode = yield from node1.begin()
+        assert trx1_mode is TxnMode.GTM
+        # Node2 and Node3 transition to DUAL; Node2 continues to GClock.
+        yield from node2.set_mode(TxnMode.DUAL)
+        yield from node3.set_mode(TxnMode.DUAL)
+        yield from node2.set_mode(TxnMode.GCLOCK)
+        # Node3 (fast clock) pushes a large GClock timestamp into the GTMS
+        # (Listing 1's "send large GClock timestamp ts3": a DUAL begin
+        # reports the clock upper bound without any commit-wait).
+        ts3, _mode3 = yield from node3.begin()
+        log["ts3"] = ts3
+        # Trx1 commits via the GTM server.
+        if honor_wait:
+            started = env.now
+            ts1 = yield from node1.commit_ts(TxnMode.GTM)
+            log["waited"] = env.now - started
+        else:
+            reply = yield network.request(node1.node_name, "gtms",
+                                          ("commit_gtm",))
+            _ok, ts1, mandated = reply
+            log["mandated_wait"] = mandated  # deliberately not honoured
+        log["ts1"] = ts1
+        # Trx2 starts immediately afterwards on GClock-mode node2 (slow
+        # clock): a pure clock snapshot, no server contact.
+        read_ts2, mode2 = yield from node2.begin()
+        assert mode2 is TxnMode.GCLOCK
+        log["ts2"] = read_ts2
+
+    env.run(until=env.process(scenario()))
+    return log
+
+
+def test_wait_restores_visibility():
+    env, network, gtm, providers = build_listing1_rig()
+    log = run_interleaving(env, network, gtm, providers, honor_wait=True)
+    assert log["ts1"] > log["ts3"]
+    assert log["waited"] >= 2 * gtm.max_err_seen  # the Listing 1 rule
+    # Visibility holds: the later transaction's snapshot covers Trx1.
+    assert log["ts2"] >= log["ts1"]
+
+
+def test_without_wait_the_anomaly_occurs():
+    env, network, gtm, providers = build_listing1_rig()
+    log = run_interleaving(env, network, gtm, providers, honor_wait=False)
+    assert log["mandated_wait"] > 0       # the server did mandate the wait
+    # Skipping it produces Listing 1's violation: Trx2 starts after Trx1
+    # committed (in true time) yet gets a smaller snapshot and cannot see
+    # Trx1's update.
+    assert log["ts2"] < log["ts1"]

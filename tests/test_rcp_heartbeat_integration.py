@@ -1,0 +1,180 @@
+"""Integration tests for RCP freshness machinery: heartbeats, collectors,
+DDL fencing, and the replica safe-time wait."""
+
+import pytest
+
+from repro import ClusterConfig, TxnMode, build_cluster, one_region, three_city
+from repro.cluster.cn import CnConfig
+from repro.sim.units import ms, ns_to_ms, seconds
+
+
+def idle_db(**overrides):
+    db = build_cluster(ClusterConfig.globaldb(one_region(), **overrides))
+    session = db.session()
+    session.create_table("t", [("k", "int"), ("v", "int")], primary_key=["k"])
+    session.begin()
+    session.insert("t", {"k": 1, "v": 1})
+    session.commit()
+    return db, session
+
+
+class TestHeartbeats:
+    def test_rcp_advances_on_idle_cluster_gclock(self):
+        db, session = idle_db()
+        db.run_for(0.3)
+        first = session.rcp
+        db.run_for(1.0)  # no transactions at all
+        assert session.rcp > first  # heartbeats kept the frontier moving
+
+    def test_rcp_advances_on_idle_cluster_gtm(self):
+        db = build_cluster(ClusterConfig.baseline(one_region(),
+                                                  ror_enabled=True))
+        session = db.session()
+        session.create_table("t", [("k", "int")], primary_key=["k"])
+        session.begin()
+        session.insert("t", {"k": 1})
+        commit_ts = session.commit()
+        db.run_for(0.5)
+        # In GTM mode timestamps are counters: heartbeats re-advertise the
+        # frontier so the RCP reaches the last commit even with no load.
+        assert session.rcp >= commit_ts
+
+    def test_heartbeats_reach_every_replica(self):
+        db, _session = idle_db()
+        before = {replica.store.max_commit_ts
+                  for replica_list in db.replicas.values()
+                  for replica in replica_list}
+        db.run_for(1.0)
+        for replica_list in db.replicas.values():
+            for replica in replica_list:
+                assert replica.store.max_commit_ts > max(before)
+
+    def test_only_collector_sends_heartbeats(self):
+        db, _session = idle_db()
+        db.run_for(0.5)
+        collectors = [cn for cn in db.cns if cn.is_collector]
+        assert len(collectors) == len(db.config.topology.regions)
+
+
+class TestRcpProperties:
+    def test_rcp_never_exceeds_any_replica_frontier(self):
+        db, session = idle_db()
+        for _ in range(10):
+            db.run_for(0.1)
+            rcp = session.rcp
+            for replica_list in db.replicas.values():
+                for replica in replica_list:
+                    assert replica.store.max_commit_ts >= rcp
+
+    def test_rcp_monotone_under_load(self):
+        db, session = idle_db()
+        observed = []
+        for i in range(10):
+            session.begin()
+            session.update("t", (1,), {"v": i})
+            session.commit()
+            db.run_for(0.05)
+            observed.append(session.rcp)
+        assert observed == sorted(observed)
+
+    def test_collector_skips_failed_replica(self):
+        db, session = idle_db()
+        db.run_for(0.2)
+        victim = db.replicas[3][0]
+        victim.fail()
+        stuck_frontier = victim.store.max_commit_ts
+        db.run_for(0.5)
+        # RCP moved past the dead replica's frozen frontier.
+        assert session.rcp > stuck_frontier
+
+    def test_rcp_respects_paused_shipping(self):
+        """A live replica that stops receiving redo holds the RCP back —
+        the correct (consistency-preserving) behaviour."""
+        db, session = idle_db()
+        db.run_for(0.2)
+        target = db.replicas[0][0]
+        for shipper in db.shippers:
+            if shipper.dst == target.name:
+                shipper.pause()
+        frozen = target.store.max_commit_ts
+        db.run_for(0.5)
+        assert session.rcp <= frozen
+
+
+class TestDdlFencing:
+    def test_reads_after_ddl_fall_back_until_replayed(self):
+        db, session = idle_db()
+        db.run_for(0.3)
+        session.create_table("t2", [("k", "int"), ("v", "int")],
+                             primary_key=["k"])
+        session.begin()
+        session.insert("t2", {"k": 1, "v": 7})
+        session.commit()
+        cn = session.cn
+        fallbacks_before = cn.primary_fallback_reads
+        ror_before = cn.ror_reads
+        # Immediately: the RCP is behind the DDL timestamp, so the read
+        # must be served by a primary (rule 1 and 2 both fail).
+        reader = db.session(cn=cn)
+        row = reader.read_only("t2", (1,))
+        assert row == {"k": 1, "v": 7}
+        assert cn.ror_reads == ror_before  # no replica was asked
+
+    def test_reads_use_replicas_once_ddl_replayed(self):
+        db, session = idle_db()
+        session.create_table("t2", [("k", "int"), ("v", "int")],
+                             primary_key=["k"])
+        session.begin()
+        session.insert("t2", {"k": 1, "v": 7})
+        session.commit()
+        db.run_for(1.0)  # DDL + data replayed everywhere; RCP catches up
+        reader = db.session(cn=session.cn)
+        ror_before = session.cn.ror_reads
+        # The skyline spreads equal-latency reads over replicas *and* the
+        # local primary; several reads make replica usage deterministic.
+        for _ in range(10):
+            row = reader.read_only("t2", (1,))
+            assert row == {"k": 1, "v": 7}
+        assert session.cn.ror_reads > ror_before
+
+    def test_per_table_fence_allows_unrelated_tables(self):
+        """Rule 2: after a DDL on one table, reads of *other* tables can
+        still use replicas (their DDL timestamps are old)."""
+        db, session = idle_db()
+        db.run_for(0.5)
+        session.create_table("brand_new", [("k", "int")], primary_key=["k"])
+        cn = session.cn
+        ror_before = cn.ror_reads
+        reader = db.session(cn=cn)
+        for _ in range(10):
+            reader.read_only("t", (1,))  # the old table
+        assert cn.ror_reads > ror_before
+
+
+class TestSafeTimeWait:
+    def test_replica_read_waits_for_frontier(self):
+        """A read routed at a snapshot the replica has not replayed yet
+        blocks until replay catches up — never returns a hole."""
+        db, session = idle_db()
+        db.run_for(0.3)
+        shard = db.shard_map.shard_for_key("t", (1,))
+        replica = db.replicas[shard][0]
+        target_ts = replica.store.max_commit_ts + ms(50)
+        outcome = []
+
+        def reader():
+            row = yield from _read_at(replica, target_ts)
+            outcome.append((row, db.env.now))
+
+        def _read_at(replica, read_ts):
+            from repro.storage.snapshot import Snapshot
+            yield from replica.store.wait_frontier(read_ts)
+            result = yield from replica.store.read_waiting(
+                "t", (1,), Snapshot(read_ts))
+            return result
+
+        db.env.process(reader())
+        db.run_for(0.01)
+        assert not outcome  # still waiting for the frontier
+        db.run_for(0.5)     # heartbeats advance the frontier past target
+        assert outcome and outcome[0][0] is not None

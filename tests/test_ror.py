@@ -1,0 +1,172 @@
+"""Unit tests for RCP calculation, skyline selection, and staleness."""
+
+import random
+
+import pytest
+
+from repro.clocks import ClockSyncConfig, ClockSyncDaemon, GClockSource, GlobalTimeDevice, PhysicalClock
+from repro.ror import NodeMetrics, RcpState, StalenessEstimator, choose_node, compute_rcp, skyline
+from repro.sim import Environment, ms, seconds, us
+from repro.sim.rand import RandomStreams
+from repro.txn.modes import TxnMode
+
+
+class TestComputeRcp:
+    def test_paper_example_fig4(self):
+        # Replica 1 max=ts4, Replica 2 max=ts5, Replica 3 max=ts3 -> RCP=ts3.
+        assert compute_rcp({"r1": 4, "r2": 5, "r3": 3}) == 3
+
+    def test_single_replica(self):
+        assert compute_rcp({"r1": 42}) == 42
+
+    def test_empty_is_zero(self):
+        assert compute_rcp({}) == 0
+
+
+class TestRcpState:
+    def test_monotonic_updates(self):
+        state = RcpState()
+        state.update(10, now=1, collector="cn1")
+        state.update(20, now=2, collector="cn1")
+        assert state.rcp == 20
+
+    def test_regression_ignored(self):
+        state = RcpState()
+        state.update(20, now=1, collector="cn1")
+        state.update(15, now=2, collector="cn2")  # new collector lags
+        assert state.rcp == 20
+        assert state.regressions_ignored == 1
+
+    def test_age_tracks_updates(self):
+        state = RcpState()
+        state.update(10, now=100, collector="cn1")
+        assert state.age_ns(150) == 50
+
+
+def metrics(name, staleness, latency, **kwargs):
+    return NodeMetrics(name=name, staleness_ns=staleness, latency_ns=latency,
+                       **kwargs)
+
+
+class TestSkyline:
+    def test_dominated_nodes_excluded(self):
+        nodes = [
+            metrics("fresh-fast", 10, 10),
+            metrics("stale-slow", 100, 100),  # dominated
+            metrics("fresher-slower", 5, 50),
+        ]
+        names = [node.name for node in skyline(nodes)]
+        assert "stale-slow" not in names
+        assert set(names) == {"fresh-fast", "fresher-slower"}
+
+    def test_down_nodes_excluded(self):
+        nodes = [metrics("dead", 1, 1, up=False), metrics("alive", 50, 50)]
+        assert [node.name for node in skyline(nodes)] == ["alive"]
+
+    def test_ties_are_kept(self):
+        nodes = [metrics("a", 10, 10), metrics("b", 10, 10)]
+        assert len(skyline(nodes)) == 2
+
+    def test_skyline_sorted_by_latency(self):
+        nodes = [metrics("slow", 1, 100), metrics("fast", 50, 10)]
+        assert [node.name for node in skyline(nodes)] == ["fast", "slow"]
+
+
+class TestChooseNode:
+    def test_staleness_bound_filters(self):
+        nodes = [
+            metrics("stale-local", ms(100), us(50)),
+            metrics("fresh-remote", ms(1), ms(25)),
+        ]
+        chosen = choose_node(nodes, staleness_bound_ns=ms(10))
+        assert chosen.name == "fresh-remote"
+
+    def test_unbounded_picks_lowest_latency(self):
+        nodes = [
+            metrics("stale-local", ms(100), us(50)),
+            metrics("fresh-remote", ms(1), ms(25)),
+        ]
+        assert choose_node(nodes).name == "stale-local"
+
+    def test_none_when_no_candidate_meets_bound(self):
+        nodes = [metrics("stale", ms(100), us(50))]
+        assert choose_node(nodes, staleness_bound_ns=ms(1)) is None
+
+    def test_min_commit_ts_excludes_lagging_replicas(self):
+        nodes = [
+            metrics("lagging", 0, us(10), max_commit_ts=50),
+            metrics("caught-up", 0, ms(1), max_commit_ts=200),
+        ]
+        chosen = choose_node(nodes, min_commit_ts=100)
+        assert chosen.name == "caught-up"
+
+    def test_primary_exempt_from_min_commit_ts(self):
+        nodes = [metrics("primary", 0, ms(1), max_commit_ts=0, is_primary=True)]
+        assert choose_node(nodes, min_commit_ts=100).name == "primary"
+
+    def test_near_ties_spread_with_rng(self):
+        nodes = [metrics("a", 10, us(50)), metrics("b", 10, us(60))]
+        rng = random.Random(1)
+        picks = {choose_node(nodes, rng=rng).name for _ in range(50)}
+        assert picks == {"a", "b"}
+
+    def test_far_apart_latencies_do_not_spread(self):
+        nodes = [metrics("near", 10, us(50)), metrics("far", 10, ms(25))]
+        rng = random.Random(1)
+        picks = {choose_node(nodes, rng=rng).name for _ in range(20)}
+        assert picks == {"near"}
+
+    def test_crashed_node_never_chosen(self):
+        nodes = [metrics("dead", 0, 1, up=False), metrics("alive", 0, ms(1))]
+        assert choose_node(nodes).name == "alive"
+
+
+def make_estimator():
+    env = Environment()
+    streams = RandomStreams(5)
+    clock = PhysicalClock(env, "n", streams.stream("c"))
+    device = GlobalTimeDevice(env, "east")
+    sync = ClockSyncDaemon(env, clock, device, ClockSyncConfig(), "n")
+    return env, StalenessEstimator(env, GClockSource(env, clock, sync))
+
+
+class TestStaleness:
+    def test_gclock_mode_uses_clock_difference(self):
+        env, estimator = make_estimator()
+        env.run(until=seconds(1))
+        replica_ts = seconds(1) - ms(30)  # 30 ms behind true time
+        estimate = estimator.estimate_ns(TxnMode.GCLOCK, replica_ts)
+        assert ms(29) <= estimate <= ms(32)
+
+    def test_gclock_mode_caught_up_is_near_zero(self):
+        env, estimator = make_estimator()
+        env.run(until=seconds(1))
+        estimate = estimator.estimate_ns(TxnMode.GCLOCK, seconds(1))
+        assert estimate <= ms(1)
+
+    def test_gtm_mode_extrapolates_from_rate(self):
+        env, estimator = make_estimator()
+        # 1000 timestamps per second observed.
+        estimator.observe_frontier(0)
+        env.run(until=seconds(1))
+        estimator.observe_frontier(1000)
+        # Replica 500 timestamps behind at ~1000/s => ~0.5 s stale.
+        estimate = estimator.estimate_ns(TxnMode.GTM, 500)
+        assert seconds(0.4) <= estimate <= seconds(0.6)
+
+    def test_gtm_mode_zero_gap_is_fresh(self):
+        env, estimator = make_estimator()
+        estimator.observe_frontier(100)
+        env.run(until=seconds(1))
+        estimator.observe_frontier(100)
+        assert estimator.estimate_ns(TxnMode.GTM, 100) == 0
+
+    def test_rate_smoothing(self):
+        env, estimator = make_estimator()
+        estimator.observe_frontier(0)
+        env.run(until=seconds(1))
+        estimator.observe_frontier(1000)
+        rate_before = estimator.rate_per_second
+        env.run(until=seconds(2))
+        estimator.observe_frontier(4000)  # burst: 3000/s
+        assert rate_before < estimator.rate_per_second < 3000

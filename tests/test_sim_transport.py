@@ -1,0 +1,90 @@
+"""Unit tests for transport models (compression, congestion, Nagle)."""
+
+import pytest
+
+from repro.sim.transport import (
+    BBR,
+    CUBIC,
+    LZ4,
+    NAGLE_OFF,
+    NAGLE_ON,
+    NO_COMPRESSION,
+    TransportConfig,
+)
+from repro.sim.units import ms, seconds
+
+
+class TestCompression:
+    def test_no_compression_passthrough(self):
+        wire, cpu = NO_COMPRESSION.compress(10_000)
+        assert wire == 10_000
+        assert cpu == 0
+
+    def test_lz4_shrinks_bytes(self):
+        wire, cpu = LZ4.compress(28_000)
+        assert wire == 10_000
+        assert cpu > 0
+
+    def test_empty_payload(self):
+        assert LZ4.compress(0) == (0, 0)
+
+    def test_tiny_payload_never_rounds_to_zero(self):
+        wire, _cpu = LZ4.compress(1)
+        assert wire >= 1
+
+
+class TestCongestion:
+    def test_bbr_holds_near_link_rate_regardless_of_rtt(self):
+        link = 1e9  # 1 Gbit/s
+        assert BBR.effective_bandwidth(link, ms(1)) == pytest.approx(0.95e9)
+        assert BBR.effective_bandwidth(link, ms(55)) == pytest.approx(0.95e9)
+
+    def test_cubic_collapses_on_long_fat_networks(self):
+        link = 1e9
+        lan = CUBIC.effective_bandwidth(link, ms(0.1))
+        wan = CUBIC.effective_bandwidth(link, ms(55))
+        assert lan == link  # Mathis bound above the link rate on a LAN
+        assert wan < link / 5  # badly degraded at 55 ms RTT
+
+    def test_cubic_never_exceeds_link(self):
+        assert CUBIC.effective_bandwidth(1e6, ms(0.01)) <= 1e6
+
+    def test_zero_rtt_means_link_rate(self):
+        assert CUBIC.effective_bandwidth(1e9, 0) == 1e9
+        assert BBR.effective_bandwidth(1e9, 0) == 1e9
+
+
+class TestNagle:
+    def test_disabled_never_penalizes(self):
+        assert NAGLE_OFF.send_penalty_ns(10, ms(50), 0) == 0
+
+    def test_full_segment_not_delayed(self):
+        assert NAGLE_ON.send_penalty_ns(1460, ms(50), 0) == 0
+
+    def test_small_segment_waits_for_ack(self):
+        # Sent immediately after the previous one: waits a full RTT.
+        assert NAGLE_ON.send_penalty_ns(100, ms(50), 0) == ms(50)
+        # Sent halfway through the RTT: waits the remainder.
+        assert NAGLE_ON.send_penalty_ns(100, ms(50), ms(20)) == ms(30)
+
+    def test_idle_connection_not_delayed(self):
+        assert NAGLE_ON.send_penalty_ns(100, ms(50), ms(50)) == 0
+        assert NAGLE_ON.send_penalty_ns(100, ms(50), seconds(1)) == 0
+
+
+class TestTransportConfig:
+    def test_baseline_matches_stock_gaussdb(self):
+        config = TransportConfig.baseline()
+        assert config.compression is NO_COMPRESSION
+        assert config.congestion is CUBIC
+        assert config.nagle.enabled
+
+    def test_optimized_matches_globaldb(self):
+        config = TransportConfig.optimized()
+        assert config.compression is LZ4
+        assert config.congestion is BBR
+        assert not config.nagle.enabled
+
+    def test_describe_mentions_every_knob(self):
+        text = TransportConfig.optimized().describe()
+        assert "lz4" in text and "bbr" in text and "nagle-off" in text

@@ -1,0 +1,118 @@
+"""Unit tests for the row lock table."""
+
+import pytest
+
+from repro.errors import WriteConflict
+from repro.sim import Environment, ms
+from repro.storage.locks import LockTable
+
+
+def test_uncontended_acquire_is_immediate():
+    env = Environment()
+    locks = LockTable(env)
+    event = locks.acquire(1, "t", (1,))
+    assert event.triggered and event.ok
+    assert locks.holder("t", (1,)) == 1
+
+
+def test_reentrant_acquire():
+    env = Environment()
+    locks = LockTable(env)
+    locks.acquire(1, "t", (1,))
+    again = locks.acquire(1, "t", (1,))
+    assert again.triggered and again.ok
+
+
+def test_waiter_granted_on_release_fifo():
+    env = Environment()
+    locks = LockTable(env)
+    granted = []
+
+    def holder():
+        yield locks.acquire(1, "t", (1,))
+        yield env.timeout(ms(10))
+        locks.release_all(1)
+
+    def waiter(txid, delay):
+        yield env.timeout(delay)
+        yield locks.acquire(txid, "t", (1,))
+        granted.append((txid, env.now))
+        yield env.timeout(ms(5))
+        locks.release_all(txid)
+
+    env.process(holder())
+    env.process(waiter(2, 1))
+    env.process(waiter(3, 2))
+    env.run()
+    assert [txid for txid, _t in granted] == [2, 3]
+    assert granted[0][1] == ms(10)
+    assert granted[1][1] == ms(15)
+
+
+def test_lock_wait_timeout_raises_write_conflict():
+    env = Environment()
+    locks = LockTable(env, default_timeout_ns=ms(20))
+    locks.acquire(1, "t", (1,))
+    outcome = []
+
+    def waiter():
+        try:
+            yield locks.acquire(2, "t", (1,))
+            outcome.append("granted")
+        except WriteConflict:
+            outcome.append(("timeout", env.now))
+
+    env.process(waiter())
+    env.run()
+    assert outcome == [("timeout", ms(20))]
+    assert locks.timeout_count == 1
+
+
+def test_timed_out_waiter_skipped_on_release():
+    env = Environment()
+    locks = LockTable(env, default_timeout_ns=ms(5))
+    locks.acquire(1, "t", (1,))
+    results = []
+
+    def impatient():
+        try:
+            yield locks.acquire(2, "t", (1,))
+            results.append("2-granted")
+        except WriteConflict:
+            results.append("2-timeout")
+
+    def patient():
+        yield locks.acquire(3, "t", (1,), timeout_ns=ms(100))
+        results.append(("3-granted", env.now))
+
+    def holder():
+        yield env.timeout(ms(10))
+        locks.release_all(1)
+
+    env.process(impatient())
+    env.process(patient())
+    env.process(holder())
+    env.run()
+    assert "2-timeout" in results
+    assert ("3-granted", ms(10)) in results
+    assert locks.holder("t", (1,)) == 3
+
+
+def test_release_all_frees_every_key():
+    env = Environment()
+    locks = LockTable(env)
+    locks.acquire(1, "t", (1,))
+    locks.acquire(1, "t", (2,))
+    locks.acquire(1, "u", (1,))
+    assert locks.locked_count() == 3
+    locks.release_all(1)
+    assert locks.locked_count() == 0
+    assert locks.held_by(1) == set()
+
+
+def test_different_keys_do_not_contend():
+    env = Environment()
+    locks = LockTable(env)
+    locks.acquire(1, "t", (1,))
+    event = locks.acquire(2, "t", (2,))
+    assert event.triggered and event.ok

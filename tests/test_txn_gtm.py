@@ -1,0 +1,214 @@
+"""Unit tests for the GTM server and timestamp provider."""
+
+import pytest
+
+from repro.clocks import ClockSyncConfig, ClockSyncDaemon, GClockSource, GlobalTimeDevice, PhysicalClock
+from repro.errors import ModeTransitionError, TransactionAborted
+from repro.sim import Environment, ms, us
+from repro.sim.network import Network
+from repro.sim.rand import RandomStreams
+from repro.txn import GTMServer, TimestampProvider, TxnMode
+
+
+def make_rig(mode=TxnMode.GTM, latency=ms(1)):
+    env = Environment()
+    streams = RandomStreams(3)
+    network = Network(env)
+    gtm = GTMServer(env, network, "gtms", "east")
+    device = GlobalTimeDevice(env, "east")
+    clock = PhysicalClock(env, "node1", streams.stream("c1"))
+    sync = ClockSyncDaemon(env, clock, device, ClockSyncConfig(), "node1")
+    gclock = GClockSource(env, clock, sync)
+    network.add_endpoint("node1", "east")
+    network.set_link("node1", "gtms", latency_ns=latency)
+    provider = TimestampProvider(env, network, "node1", gclock, "gtms", mode=mode)
+    return env, network, gtm, provider
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestGtmMode:
+    def test_begin_returns_counter(self):
+        env, _net, gtm, provider = make_rig()
+
+        def flow():
+            read_ts, mode = yield from provider.begin()
+            return read_ts, mode
+
+        read_ts, mode = run(env, flow())
+        assert read_ts == 0
+        assert mode is TxnMode.GTM
+
+    def test_commit_increments_counter(self):
+        env, _net, gtm, provider = make_rig()
+
+        def flow():
+            first = yield from provider.commit_ts(TxnMode.GTM)
+            second = yield from provider.commit_ts(TxnMode.GTM)
+            return first, second
+
+        first, second = run(env, flow())
+        assert (first, second) == (1, 2)
+        assert gtm.counter == 2
+
+    def test_begin_pays_round_trip(self):
+        env, _net, _gtm, provider = make_rig(latency=ms(25))
+
+        def flow():
+            yield from provider.begin()
+            return env.now
+
+        elapsed = run(env, flow())
+        assert elapsed >= ms(50)
+
+    def test_gclock_mode_pays_no_round_trip(self):
+        env, _net, gtm, provider = make_rig(mode=TxnMode.GCLOCK, latency=ms(25))
+
+        def flow():
+            yield from provider.begin()
+            ts = yield from provider.commit_ts(TxnMode.GCLOCK)
+            return ts
+
+        ts = run(env, flow())
+        assert env.now < ms(5)  # only commit-wait, no 50 ms round trips
+        assert gtm.begin_requests == 0
+        assert gtm.commit_requests == 0
+        assert ts > 0
+
+
+class TestDualMode:
+    def test_dual_timestamp_exceeds_both_regimes(self):
+        env, net, gtm, provider = make_rig()
+        gtm.counter = 500
+        gtm.set_mode(TxnMode.DUAL)
+        env.run(until=ms(10))
+
+        def flow():
+            yield from provider.set_mode(TxnMode.DUAL)
+            _earliest, latest_at_issue = provider.gclock.bounds()
+            ts = yield from provider.commit_ts(TxnMode.DUAL)
+            return ts, latest_at_issue
+
+        ts, latest_at_issue = run(env, flow())
+        assert ts > 500
+        assert ts > latest_at_issue  # Eq. 3: above the clock upper bound too
+
+    def test_gtm_commit_in_dual_waits_twice_max_err(self):
+        env, _net, gtm, provider = make_rig()
+        gtm.set_mode(TxnMode.DUAL)
+        gtm.max_err_seen = us(100)
+
+        def flow():
+            start = env.now
+            yield from provider.commit_ts(TxnMode.GTM)
+            return env.now - start
+
+        waited = run(env, flow())
+        assert waited >= 2 * us(100)
+
+    def test_gtm_commit_after_cutover_aborts(self):
+        env, _net, gtm, provider = make_rig()
+        gtm.set_mode(TxnMode.DUAL)
+        gtm.set_mode(TxnMode.GCLOCK)
+
+        def flow():
+            try:
+                yield from provider.commit_ts(TxnMode.GTM)
+            except TransactionAborted as exc:
+                return str(exc)
+
+        message = run(env, flow())
+        assert "cutover" in message
+        assert gtm.rejected_commits == 1
+
+    def test_gclock_txn_upgrades_to_dual_when_node_left_gclock(self):
+        env, _net, gtm, provider = make_rig(mode=TxnMode.GCLOCK)
+
+        def flow():
+            _ts, txn_mode = yield from provider.begin()
+            # Node migrates away mid-transaction.
+            yield from provider.set_mode(TxnMode.DUAL)
+            ts = yield from provider.commit_ts(txn_mode)
+            return ts
+
+        ts = run(env, flow())
+        # Committed via the GTM server (DUAL), not rejected.
+        assert gtm.commit_requests == 1
+        assert ts > 0
+
+    def test_dual_begin_raises_counter_to_clock(self):
+        env, _net, gtm, provider = make_rig()
+        gtm.set_mode(TxnMode.DUAL)
+        env.run(until=ms(50))
+
+        def flow():
+            yield from provider.set_mode(TxnMode.DUAL)
+            read_ts, _mode = yield from provider.begin()
+            return read_ts
+
+        read_ts = run(env, flow())
+        assert read_ts >= ms(40)  # clock-scale, not counter-scale
+
+
+class TestModeTransitions:
+    def test_illegal_server_transition_rejected(self):
+        env, _net, gtm, _provider = make_rig()
+        with pytest.raises(ModeTransitionError):
+            gtm.set_mode(TxnMode.GCLOCK)  # GTM -> GCLOCK must pass DUAL
+
+    def test_illegal_node_transition_rejected(self):
+        env, _net, _gtm, provider = make_rig()
+
+        def flow():
+            try:
+                yield from provider.set_mode(TxnMode.GCLOCK)
+            except ModeTransitionError as exc:
+                return str(exc)
+
+        assert "illegal" in run(env, flow())
+
+    def test_reentering_gtm_jumps_counter_past_gclock(self):
+        env, _net, gtm, _provider = make_rig()
+        gtm.set_mode(TxnMode.DUAL)
+        gtm.max_gclock_seen = 10_000_000
+        gtm.set_mode(TxnMode.GTM)
+        assert gtm.counter > 10_000_000
+
+    def test_same_mode_transition_is_noop(self):
+        env, _net, gtm, _provider = make_rig()
+        gtm.set_mode(TxnMode.GTM)
+        assert gtm.mode is TxnMode.GTM
+
+    def test_dual_entry_resets_error_tracking(self):
+        env, _net, gtm, _provider = make_rig()
+        gtm.set_mode(TxnMode.DUAL)
+        gtm.max_err_seen = 999
+        gtm.set_mode(TxnMode.GTM)
+        gtm.set_mode(TxnMode.DUAL)
+        assert gtm.max_err_seen == 0
+
+
+class TestStats:
+    def test_round_trip_accounting(self):
+        env, _net, _gtm, provider = make_rig()
+
+        def flow():
+            yield from provider.begin()
+            yield from provider.commit_ts(TxnMode.GTM)
+
+        run(env, flow())
+        assert provider.stats.gtm_round_trips == 2
+        assert provider.stats.local_stamps == 0
+
+    def test_commit_wait_accounting_in_gclock(self):
+        env, _net, _gtm, provider = make_rig(mode=TxnMode.GCLOCK)
+
+        def flow():
+            yield from provider.commit_ts(TxnMode.GCLOCK)
+
+        run(env, flow())
+        assert provider.stats.commit_waits == 1
+        assert provider.stats.commit_wait_ns_total > 0
+        assert provider.stats.mean_commit_wait_ns() > 0

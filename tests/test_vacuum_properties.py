@@ -1,0 +1,111 @@
+"""Property-based vacuum tests: reclamation never changes what any
+snapshot at or above the horizon can read."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment
+from repro.storage import ColumnDef, Snapshot, StorageEngine, TableSchema
+
+
+def build_history(operations):
+    """Apply a random operation history; return (engine, max_ts)."""
+    env = Environment()
+    engine = StorageEngine(env, "dn")
+    engine.create_table(TableSchema(
+        "t", [ColumnDef("k", "int"), ColumnDef("v", "int")], ("k",)))
+    ts = 0
+    txid = 0
+    for key, op, commit in operations:
+        txid += 1
+        ts += 10
+        engine.begin(txid)
+        did_something = False
+        if op == "upsert":
+            if engine.update(txid, "t", (key,), {"v": ts}) is not None:
+                did_something = True
+            else:
+                engine.insert(txid, "t", {"k": key, "v": ts})
+                did_something = True
+        else:  # delete
+            did_something = engine.delete(txid, "t", (key,))
+        if commit and did_something:
+            engine.log_pending_commit(txid)
+            engine.commit(txid, ts)
+        else:
+            engine.abort(txid)
+    return engine, ts
+
+
+operation_strategy = st.lists(
+    st.tuples(st.integers(1, 4),
+              st.sampled_from(["upsert", "delete"]),
+              st.booleans()),
+    min_size=1, max_size=30)
+
+
+class TestVacuumProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(operations=operation_strategy,
+           retention_steps=st.integers(0, 30))
+    def test_reads_above_horizon_unchanged(self, operations, retention_steps):
+        engine, max_ts = build_history(operations)
+        retention = retention_steps * 10
+        horizon = engine.last_commit_ts - retention
+        probe_points = [ts for ts in range(0, max_ts + 11, 10)
+                        if ts >= horizon]
+        before = {
+            (key, ts): engine.read("t", (key,), Snapshot(ts))
+            for key in range(1, 5) for ts in probe_points
+        }
+        engine.vacuum(retention_ns=retention)
+        after = {
+            (key, ts): engine.read("t", (key,), Snapshot(ts))
+            for key in range(1, 5) for ts in probe_points
+        }
+        assert before == after
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations=operation_strategy)
+    def test_vacuum_is_idempotent(self, operations):
+        engine, _max_ts = build_history(operations)
+        engine.vacuum(retention_ns=50)
+        count_after_first = engine.table("t").version_count()
+        second = engine.vacuum(retention_ns=50)
+        assert engine.table("t").version_count() == count_after_first
+        assert second.versions_removed == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations=operation_strategy)
+    def test_zero_retention_keeps_only_live_tail(self, operations):
+        """With retention 0 every key keeps at most its latest committed
+        version (plus nothing dead)."""
+        engine, max_ts = build_history(operations)
+        engine.vacuum(retention_ns=0)
+        heap = engine.table("t")
+        snapshot = Snapshot(engine.last_commit_ts)
+        for key in range(1, 5):
+            versions = heap.versions((key,))
+            assert len(versions) <= 1
+            live = engine.read("t", (key,), snapshot)
+            if versions:
+                assert live is not None
+            else:
+                assert live is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations=operation_strategy)
+    def test_latest_committed_still_updatable_after_vacuum(self, operations):
+        engine, max_ts = build_history(operations)
+        engine.vacuum(retention_ns=0)
+        snapshot = Snapshot(engine.last_commit_ts)
+        for key in range(1, 5):
+            exists = engine.read("t", (key,), snapshot) is not None
+            txid = 10_000 + key
+            engine.begin(txid)
+            if exists:
+                assert engine.update(txid, "t", (key,),
+                                     {"v": -1}) is not None
+            else:
+                engine.insert(txid, "t", {"k": key, "v": -1})
+            engine.abort(txid)

@@ -1,0 +1,230 @@
+"""Tests for the TPC-C and Sysbench workloads."""
+
+import random
+
+import pytest
+
+from repro import ClusterConfig, build_cluster, one_region, three_city
+from repro.workloads import (
+    SysbenchConfig,
+    SysbenchWorkload,
+    TpccConfig,
+    TpccWorkload,
+    run_workload,
+)
+from repro.workloads.driver import WorkloadStats
+from repro.workloads.tpcc import ReadOnlyTpccWorkload
+from repro.workloads.tpcc.generator import generate_rows, nurand
+from repro.workloads.tpcc.schema import last_name
+
+
+def small_config(**overrides):
+    defaults = dict(warehouses=2, districts_per_warehouse=2,
+                    customers_per_district=10, items=20,
+                    initial_orders_per_district=5)
+    defaults.update(overrides)
+    return TpccConfig(**defaults)
+
+
+class TestGenerator:
+    def test_nurand_stays_in_range(self):
+        rng = random.Random(0)
+        for _ in range(500):
+            value = nurand(rng, 1023, 7, 1, 100)
+            assert 1 <= value <= 100
+
+    def test_last_name_matches_spec_examples(self):
+        assert last_name(0) == "BARBARBAR"
+        assert last_name(371) == "PRICALLYOUGHT"
+        assert last_name(999) == "EINGEINGEING"
+
+    def test_row_counts(self):
+        config = small_config()
+        counts = {}
+        for table, _row in generate_rows(config, random.Random(0)):
+            counts[table] = counts.get(table, 0) + 1
+        assert counts["warehouse"] == 2
+        assert counts["district"] == 4
+        assert counts["customer"] == 40
+        assert counts["item"] == 20
+        assert counts["stock"] == 40
+        assert counts["orders"] == 20
+        assert counts["neworder"] < counts["orders"]
+        assert counts["orderline"] >= counts["orders"] * 5
+
+    def test_initial_orders_leave_consistent_next_o_id(self):
+        config = small_config()
+        districts = [row for table, row in generate_rows(config, random.Random(0))
+                     if table == "district"]
+        for district in districts:
+            assert district["d_next_o_id"] == config.initial_orders_per_district + 1
+
+
+class TestTpccExecution:
+    def test_full_mix_runs_and_commits(self):
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = TpccWorkload(small_config())
+        result = run_workload(db, workload, terminals=4, duration_s=1.0)
+        assert result.stats.committed > 20
+        assert result.stats.abort_rate < 0.2
+
+    def test_all_five_types_appear(self):
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = TpccWorkload(small_config())
+        result = run_workload(db, workload, terminals=8, duration_s=3.0)
+        assert set(result.stats.by_type) >= {
+            "new_order", "payment", "order_status", "delivery", "stock_level"}
+
+    def test_district_counter_matches_orders(self):
+        """Database consistency: d_next_o_id - 1 == max o_id per district
+        (TPC-C consistency condition 1)."""
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = TpccWorkload(small_config(new_order_abort_pct=0.0))
+        run_workload(db, workload, terminals=4, duration_s=1.0)
+        session = db.session()
+        session.begin()
+        districts = session.scan("district")
+        orders = session.scan("orders")
+        session.commit()
+        for district in districts:
+            w, d = district["d_w_id"], district["d_id"]
+            o_ids = [order["o_id"] for order in orders
+                     if order["o_w_id"] == w and order["o_d_id"] == d]
+            assert district["d_next_o_id"] == max(o_ids) + 1
+
+    def test_warehouse_ytd_matches_history(self):
+        """TPC-C consistency condition 2-ish: sum of payment amounts equals
+        the warehouse YTD delta."""
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = TpccWorkload(small_config(new_order_abort_pct=0.0))
+        run_workload(db, workload, terminals=4, duration_s=1.0)
+        session = db.session()
+        session.begin()
+        warehouses = session.scan("warehouse")
+        history = session.scan("history")
+        session.commit()
+        for warehouse in warehouses:
+            paid = sum(entry["h_amount"] for entry in history
+                       if entry["h_w_id"] == warehouse["w_id"])
+            assert warehouse["w_ytd"] == pytest.approx(300000.0 + paid)
+
+    def test_remote_txn_pct_targets_other_regions(self):
+        db = build_cluster(ClusterConfig.globaldb(three_city()))
+        workload = TpccWorkload(small_config(warehouses=6, remote_txn_pct=1.0))
+        workload.setup(db)
+        cn = db.cns[0]
+        rng = random.Random(1)
+        homes = {workload.home_warehouse(cn, 0, rng) for _ in range(50)}
+        regions = {workload._warehouse_region[w] for w in homes}
+        assert cn.region not in regions
+
+    def test_local_txns_stay_local(self):
+        db = build_cluster(ClusterConfig.globaldb(three_city()))
+        workload = TpccWorkload(small_config(warehouses=6, remote_txn_pct=0.0))
+        workload.setup(db)
+        cn = db.cns[0]
+        rng = random.Random(1)
+        for terminal in range(10):
+            w = workload.home_warehouse(cn, terminal, rng)
+            assert workload._warehouse_region[w] == cn.region
+
+    def test_spec_remotes_confined_to_region_by_default(self):
+        db = build_cluster(ClusterConfig.globaldb(three_city()))
+        workload = TpccWorkload(small_config(warehouses=9))
+        workload.setup(db)
+        rng = random.Random(2)
+        for w_id in workload._warehouse_region:
+            other = workload._other_warehouse(rng, w_id)
+            if other != w_id:
+                assert (workload._warehouse_region[other]
+                        == workload._warehouse_region[w_id])
+
+    def test_new_order_rollback_rate(self):
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = TpccWorkload(small_config(
+            new_order_abort_pct=1.0, mix=(1.0, 0.0, 0.0, 0.0, 0.0)))
+        result = run_workload(db, workload, terminals=2, duration_s=0.5)
+        assert result.stats.committed == 0
+        assert result.stats.aborted > 0
+
+
+class TestReadOnlyTpcc:
+    def test_runs_only_read_types(self):
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = ReadOnlyTpccWorkload(small_config(warehouses=6))
+        result = run_workload(db, workload, terminals=6, duration_s=1.0,
+                              warmup_s=0.2)
+        assert set(result.stats.by_type) <= {"order_status", "stock_level"}
+        assert result.stats.committed > 10
+
+    def test_read_only_uses_replicas_when_ror_enabled(self):
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = ReadOnlyTpccWorkload(small_config(warehouses=6))
+        run_workload(db, workload, terminals=6, duration_s=1.0, warmup_s=0.3)
+        assert sum(cn.ror_reads for cn in db.cns) > 0
+
+    def test_read_only_baseline_never_uses_replicas(self):
+        db = build_cluster(ClusterConfig.baseline(one_region()))
+        workload = ReadOnlyTpccWorkload(small_config(warehouses=6))
+        run_workload(db, workload, terminals=6, duration_s=1.0)
+        assert sum(cn.ror_reads for cn in db.cns) == 0
+
+
+class TestSysbench:
+    def test_point_select_commits(self):
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = SysbenchWorkload(SysbenchConfig(tables=2, rows_per_table=50))
+        result = run_workload(db, workload, terminals=8, duration_s=0.5,
+                              warmup_s=0.1)
+        assert result.stats.committed > 100
+        assert result.stats.abort_rate == 0
+
+    def test_remote_pct_partitions_keys(self):
+        db = build_cluster(ClusterConfig.globaldb(three_city()))
+        workload = SysbenchWorkload(SysbenchConfig(tables=3, rows_per_table=60,
+                                                   remote_pct=1.0))
+        workload.setup(db)
+        cn = db.cns[0]
+        rng = random.Random(0)
+        for _ in range(30):
+            table, row_id = workload._pick_key(cn, rng)
+            shard = db.shard_map.shard_for_value(table, row_id)
+            assert db.primaries[shard].region != cn.region
+
+    def test_read_write_variant(self):
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = SysbenchWorkload(SysbenchConfig(tables=2, rows_per_table=50),
+                                    read_write=True)
+        result = run_workload(db, workload, terminals=4, duration_s=0.5)
+        assert result.stats.committed > 10
+
+
+class TestDriverStats:
+    def test_percentiles_and_throughput(self):
+        stats = WorkloadStats()
+        for latency_ms_value in range(1, 101):
+            stats.record("t", latency_ms_value * 1_000_000, ok=True)
+        stats.window_ns = 10 * 1_000_000_000
+        assert stats.committed == 100
+        assert stats.throughput_per_s == pytest.approx(10.0)
+        assert stats.latency_percentile_ms(50) == pytest.approx(50, abs=2)
+        assert stats.latency_percentile_ms(99) == pytest.approx(99, abs=2)
+        assert stats.mean_latency_ms == pytest.approx(50.5)
+
+    def test_warmup_excluded(self):
+        db = build_cluster(ClusterConfig.globaldb(one_region()))
+        workload = SysbenchWorkload(SysbenchConfig(tables=1, rows_per_table=20))
+        result = run_workload(db, workload, terminals=2, duration_s=0.2,
+                              warmup_s=0.2)
+        # Window is the measured duration only.
+        assert result.stats.window_ns == 200_000_000
+
+    def test_cn_pinning(self):
+        db = build_cluster(ClusterConfig.globaldb(three_city()))
+        workload = SysbenchWorkload(SysbenchConfig(tables=2, rows_per_table=50))
+        target = db.cns[1]
+        run_workload(db, workload, terminals=4, duration_s=0.3,
+                     cns=[target])
+        others = [cn for cn in db.cns if cn is not target]
+        assert target.read_only_queries > 0
+        assert all(cn.read_only_queries == 0 for cn in others)
