@@ -9,7 +9,7 @@ transition.
 Run:  python examples/quickstart.py
 """
 
-from repro import ClusterConfig, TxnMode, build_cluster, three_city
+from repro import ClusterConfig, build_cluster, three_city
 
 
 def main() -> None:

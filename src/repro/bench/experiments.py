@@ -12,7 +12,9 @@ regime, not just of the protocols.
 
 from __future__ import annotations
 
+import os
 import typing
+from dataclasses import replace
 
 from repro.bench.harness import ExperimentTable, Scale
 from repro.cluster import ClusterConfig, build_cluster, one_region, three_city
@@ -45,6 +47,42 @@ DELAY_POINTS_MS = (0, 25, 50, 100)
 READ_BENCH_CN = CnConfig(statement_cost_ns=us(600), workers=5)
 
 
+def _tracing() -> bool:
+    """``REPRO_TRACE=1`` turns every experiment run into a traced run."""
+    return os.environ.get("REPRO_TRACE", "") not in ("", "0")
+
+
+def _build(config: ClusterConfig):
+    """Build a cluster, attaching observability when ``REPRO_TRACE`` is set.
+
+    Observability is passive, so traced runs produce the same numbers as
+    untraced ones (``tests/test_determinism.py``)."""
+    if _tracing():
+        config = replace(config, metrics_enabled=True, trace_enabled=True)
+    return build_cluster(config)
+
+
+def _attach_observability(table: ExperimentTable, db, result=None,
+                          label: str = "") -> None:
+    """Digest a traced run into ``table.extra_info`` (and optionally a
+    Chrome trace file under ``REPRO_TRACE_DIR``). No-op unless tracing."""
+    if not _tracing():
+        return
+    from repro.obs import RunReport
+
+    report = RunReport.capture(db, result)
+    digest = report.to_dict()
+    if label:
+        digest["label"] = label
+    table.extra_info.setdefault("run_reports", []).append(digest)
+    out_dir = os.environ.get("REPRO_TRACE_DIR", "")
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        slug = "".join(ch if ch.isalnum() else "-"
+                       for ch in f"{table.experiment} {label}".lower()).strip("-")
+        db.env.tracer.write_chrome_trace(os.path.join(out_dir, f"{slug}.json"))
+
+
 def _tpcc(scale: Scale, **overrides) -> TpccWorkload:
     return TpccWorkload(TpccConfig(warehouses=scale.warehouses, **overrides))
 
@@ -71,11 +109,12 @@ def fig1a_motivation(scale: Scale | None = None) -> ExperimentTable:
     for label, hop_ms in [("same rack", 0.05), ("metro", 5.0),
                           ("near cities", 25.0), ("distant cities", 55.0)]:
         topology = chain_topology(3, hop_latency_ns=ms(hop_ms))
-        db = build_cluster(ClusterConfig.baseline(topology))
+        db = _build(ClusterConfig.baseline(topology))
         result = _run_tpcc(db, scale)
         if reference_tpm is None:
             reference_tpm = result.tpm or 1.0
         table.add_row(label, hop_ms, result.tpm, result.tpm / reference_tpm)
+        _attach_observability(table, db, result, label=label)
     return table
 
 
@@ -100,11 +139,13 @@ def fig6a_tpcc_geo(scale: Scale | None = None) -> ExperimentTable:
     ]
     reference = None
     for system, cluster_name, config in configs:
-        db = build_cluster(config)
+        db = _build(config)
         result = _run_tpcc(db, scale)
         if reference is None:
             reference = result.tpm or 1.0
         table.add_row(system, cluster_name, result.tpm, result.tpm / reference)
+        _attach_observability(table, db, result,
+                              label=f"{system} {cluster_name}")
     return table
 
 
@@ -126,7 +167,7 @@ def fig6b_tpcc_delay(scale: Scale | None = None,
     for delay in delays_ms:
         for system, config_fn in [("baseline", ClusterConfig.baseline),
                                   ("globaldb", ClusterConfig.globaldb)]:
-            db = build_cluster(config_fn(one_region()))
+            db = _build(config_fn(one_region()))
             workload = _tpcc(scale)
             workload.setup(db)
             db.inject_delay_all(ms(delay))
@@ -137,6 +178,8 @@ def fig6b_tpcc_delay(scale: Scale | None = None,
                                   warmup_s=scale.warmup_s, setup=False,
                                   cns=remote_cns)
             series[system].append(result.tpm)
+            _attach_observability(table, db, result,
+                                  label=f"{system} {delay}ms")
     for index, delay in enumerate(delays_ms):
         base0 = series["baseline"][0] or 1.0
         glob0 = series["globaldb"][0] or 1.0
@@ -169,7 +212,7 @@ def fig6c_readonly_tpcc(scale: Scale | None = None,
         for system, config_fn in [("baseline", ClusterConfig.baseline),
                                   ("globaldb", ClusterConfig.globaldb)]:
             config = config_fn(one_region(), cn_config=READ_BENCH_CN)
-            db = build_cluster(config)
+            db = _build(config)
             workload = ReadOnlyTpccWorkload(
                 TpccConfig(warehouses=scale.warehouses), multi_shard_pct=0.5)
             workload.setup(db)
@@ -179,6 +222,8 @@ def fig6c_readonly_tpcc(scale: Scale | None = None,
                                   duration_s=scale.duration_s,
                                   warmup_s=scale.warmup_s, setup=False)
             throughput[system] = result.throughput_per_s
+            _attach_observability(table, db, result,
+                                  label=f"{system} {delay}ms")
         table.add_row(delay, throughput["baseline"], throughput["globaldb"],
                       throughput["globaldb"] / max(throughput["baseline"], 0.01))
     return table
@@ -205,7 +250,7 @@ def fig6d_sysbench_point_select(scale: Scale | None = None,
         for system, config_fn in [("baseline", ClusterConfig.baseline),
                                   ("globaldb", ClusterConfig.globaldb)]:
             config = config_fn(one_region(), cn_config=READ_BENCH_CN)
-            db = build_cluster(config)
+            db = _build(config)
             workload = SysbenchWorkload(SysbenchConfig(
                 tables=8, rows_per_table=250, remote_pct=2 / 3))
             workload.setup(db)
@@ -215,6 +260,8 @@ def fig6d_sysbench_point_select(scale: Scale | None = None,
                                   duration_s=scale.duration_s,
                                   warmup_s=scale.warmup_s, setup=False)
             throughput[system] = result.throughput_per_s
+            _attach_observability(table, db, result,
+                                  label=f"{system} {delay}ms")
         table.add_row(delay, throughput["baseline"], throughput["globaldb"],
                       throughput["globaldb"] / max(throughput["baseline"], 0.01))
     return table
@@ -234,7 +281,7 @@ def migration_under_load(scale: Scale | None = None,
         paper_claim="zero downtime; only stale GTM transactions abort at "
                     "the GClock cutover",
         columns=["window_start_ms", "commits", "phase"])
-    db = build_cluster(ClusterConfig.baseline(one_region()))
+    db = _build(ClusterConfig.baseline(one_region()))
     workload = _tpcc(scale)
     workload.setup(db)
     env = db.env
@@ -288,6 +335,7 @@ def migration_under_load(scale: Scale | None = None,
     table.note(f"windows with zero commits: {zero_windows}")
     table.note(f"GTM transactions aborted at GClock cutover: {aborts_on_cutover}")
     table.note(f"GTM rejected commits: {db.gtm.rejected_commits}")
+    _attach_observability(table, db, label="migration under load")
     return table
 
 
@@ -315,7 +363,7 @@ def ablation_log_shipping(scale: Scale | None = None) -> ExperimentTable:
     for label, transport in variants:
         config = ClusterConfig.baseline(
             three_city(), shipper=ShipperConfig(transport=transport))
-        db = build_cluster(config)
+        db = _build(config)
         result = _run_tpcc(db, scale)
         wire_mb = sum(shipper.wire_bytes_total for shipper in db.shippers) / 1e6
         ratios = [shipper.compression_ratio_achieved()
@@ -323,6 +371,7 @@ def ablation_log_shipping(scale: Scale | None = None) -> ExperimentTable:
         ratio = sum(ratios) / len(ratios) if ratios else 1.0
         table.add_row(label, result.tpm, result.stats.mean_latency_ms,
                       wire_mb, ratio)
+        _attach_observability(table, db, result, label=label)
     return table
 
 
@@ -360,19 +409,19 @@ def ablation_ror(scale: Scale | None = None) -> ExperimentTable:
     # --- routing sub-ablation (read-only workload) ---------------------
     for label, ror in [("skyline + replicas", True),
                        ("primaries only (no ROR)", False)]:
-        db = build_cluster(ClusterConfig.globaldb(three_city(),
-                                                  ror_enabled=ror))
+        db = _build(ClusterConfig.globaldb(three_city(), ror_enabled=ror))
         workload = ReadOnlyTpccWorkload(
             TpccConfig(warehouses=scale.warehouses), multi_shard_pct=0.5)
         result, ror_reads, fallback, lag = measure(db, workload)
         table.add_row(label, "read-only tpcc", result.throughput_per_s,
                       ror_reads, fallback, lag)
+        _attach_observability(table, db, result, label=label)
 
     # --- freshness sub-ablation (write-heavy workload) ------------------
     for label, apply_ns, parallelism in [
             ("parallel replay (x8)", us(2), 8),
             ("throttled serial replay", us(150), 1)]:
-        db = build_cluster(ClusterConfig.globaldb(three_city()))
+        db = _build(ClusterConfig.globaldb(three_city()))
         for replica_list in db.replicas.values():
             for replica in replica_list:
                 replica.replayer.apply_ns_per_record = apply_ns
@@ -381,6 +430,7 @@ def ablation_ror(scale: Scale | None = None) -> ExperimentTable:
         result, ror_reads, fallback, lag = measure(db, workload)
         table.add_row(label, "full tpcc", result.throughput_per_s,
                       ror_reads, fallback, lag)
+        _attach_observability(table, db, result, label=label)
     table.note("primary_reads on the read-only rows are mostly skyline "
                "choices of the (local, freshest) primary, not failures")
     return table

@@ -47,6 +47,9 @@ class ExperimentTable:
     columns: list[str]
     rows: list[list] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Free-form JSON-serializable attachments (e.g. a RunReport digest
+    #: when the run was traced via ``REPRO_TRACE=1``).
+    extra_info: dict = field(default_factory=dict)
 
     def add_row(self, *values) -> None:
         self.rows.append(list(values))
@@ -86,6 +89,7 @@ class ExperimentTable:
             "columns": self.columns,
             "rows": self.rows,
             "notes": self.notes,
+            "extra_info": self.extra_info,
         }
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.clocks import GlobalTimeDevice
 from repro.errors import SimulationError
+from repro.obs import enable_observability
 from repro.replication.quorum import ReplicationPolicy
 from repro.replication.shipper import LogShipper, ShipperConfig
 from repro.sim.core import Environment
@@ -68,6 +69,12 @@ class ClusterConfig:
     vacuum_interval_ns: int = 2_000_000_000
     vacuum_retention_ns: int = 5_000_000_000
     vacuum_enabled: bool = True
+    #: Observability (repro.obs): attach a live metrics registry and/or
+    #: span tracer to the environment before any node is constructed.
+    #: Purely passive — a run's event history is identical either way.
+    metrics_enabled: bool = False
+    trace_enabled: bool = False
+    trace_max_spans: int | None = 500_000
 
     @classmethod
     def baseline(cls, topology: Topology | None = None, **overrides) -> "ClusterConfig":
@@ -278,6 +285,12 @@ class GlobalDB:
 def build_cluster(config: ClusterConfig) -> GlobalDB:
     """Wire a :class:`ClusterConfig` into a running cluster."""
     env = Environment()
+    if config.metrics_enabled or config.trace_enabled:
+        # Before node construction, so construction-time instruments land
+        # in the live registry.
+        enable_observability(env, metrics=config.metrics_enabled,
+                             trace=config.trace_enabled,
+                             max_spans=config.trace_max_spans)
     streams = RandomStreams(config.seed)
     network = Network(env, jitter_stream=streams.stream("net-jitter"))
     regions = list(config.topology.regions)

@@ -33,7 +33,7 @@ from repro.ror.rcp import RcpCollector, RcpState
 from repro.ror.skyline import NodeMetrics, choose_node
 from repro.ror.staleness import StalenessEstimator
 from repro.sim.events import settle
-from repro.sim.network import Message, Request
+from repro.sim.network import Message
 from repro.sim.resources import Semaphore
 from repro.sim.units import SECOND, ms, us
 from repro.storage.catalog import Catalog, TableSchema
@@ -55,6 +55,9 @@ class TxnContext:
     write_shards: set[int] = field(default_factory=set)
     touched_shards: set[int] = field(default_factory=set)
     finished: bool = False
+    # Sim times bounding the begin phase, for trace attribution.
+    begin_started_at: int = 0
+    begin_ended_at: int = 0
 
 
 @dataclass
@@ -102,7 +105,8 @@ class ComputingNode(ClusterNode):
         # ROR state:
         self.rcp_state = RcpState()
         self.metrics: dict[str, NodeMetrics] = {}
-        self.staleness = StalenessEstimator(self.env, self.gclock)
+        self.staleness = StalenessEstimator(self.env, self.gclock,
+                                            name=self.name)
         self._collector: RcpCollector | None = None
         self.is_collector = False
         # Counters:
@@ -155,16 +159,21 @@ class ComputingNode(ClusterNode):
         status = event.value
         self.staleness.observe_frontier(status["max_commit_ts"])
         latency = (self.env.now - sent_at) // 2  # one-way estimate
+        staleness_ns = self.staleness.estimate_ns(
+            self.mode, status["max_commit_ts"])
         self.metrics[name] = NodeMetrics(
             name=name,
-            staleness_ns=self.staleness.estimate_ns(
-                self.mode, status["max_commit_ts"]),
+            staleness_ns=staleness_ns,
             latency_ns=latency + round(status["load"] * us(50)),
             max_commit_ts=status["max_commit_ts"],
             load=status["load"],
             up=status["up"],
             is_primary=(status["role"] == "primary"),
         )
+        if status["role"] != "primary" and self.env.metrics.enabled:
+            # Replica lag as this CN estimates it (the skyline's input).
+            self.env.metrics.set_gauge("ror.staleness_ns", staleness_ns,
+                                       node=name)
 
     def _rcp_loop(self):
         while True:
@@ -176,7 +185,15 @@ class ComputingNode(ClusterNode):
             yield self.env.timeout(self.config.rcp_poll_interval_ns)
 
     def _on_rcp_computed(self, rcp: int) -> None:
+        self._note_rcp_update()
         self.rcp_state.update(rcp, self.env.now, self.name)
+
+    def _note_rcp_update(self) -> None:
+        """Record how stale this CN's RCP view got before the update."""
+        metrics = self.env.metrics
+        if metrics.enabled and self.rcp_state.updates_received:
+            metrics.histogram("ror.rcp_age_ns", cn=self.name).record(
+                self.rcp_state.age_ns(self.env.now))
 
     def _maybe_take_over(self) -> None:
         """Collector failover: if RCP updates stopped and this CN is the
@@ -210,6 +227,7 @@ class ComputingNode(ClusterNode):
             self.primary_of_shard[shard] = new_primary
         elif kind == "rcp_update":
             _kind, rcp, collector = payload
+            self._note_rcp_update()
             self.rcp_state.update(rcp, self.env.now, collector)
             if collector != self.name:
                 self.is_collector = False
@@ -228,18 +246,32 @@ class ComputingNode(ClusterNode):
         """Generator: per-statement CN admission — a worker slot plus the
         statement's CPU cost (parse/plan/route). This is what makes the CN
         a realistic capacity ceiling under closed-loop load."""
+        started = self.env.now
         yield self.pool.acquire()
         try:
             if self.config.statement_cost_ns:
                 yield self.env.timeout(self.config.statement_cost_ns)
         finally:
             self.pool.release()
+            if self.env.metrics.enabled:
+                self.env.metrics.histogram(
+                    "cn.statement_ns",
+                    node=self.name).record(self.env.now - started)
 
     def g_begin(self):
         """Generator: begin a read-write transaction."""
+        started = self.env.now
         yield from self._statement()
         read_ts, mode = yield from self.provider.begin()
-        return TxnContext(txid=self.next_txid(), mode=mode, read_ts=read_ts)
+        ctx = TxnContext(txid=self.next_txid(), mode=mode, read_ts=read_ts,
+                         begin_started_at=started,
+                         begin_ended_at=self.env.now)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.complete("txn", "begin", started, ctx.begin_ended_at,
+                            track=self.name, txid=ctx.txid,
+                            mode=str(mode))
+        return ctx
 
     def _primary(self, shard: int) -> str:
         return self.primary_of_shard[shard]
@@ -398,10 +430,19 @@ class ComputingNode(ClusterNode):
         if ctx.finished:
             raise TransactionAborted("transaction already finished")
         ctx.finished = True
+        commit_started = self.env.now
+        tracer = self.env.tracer
+        if tracer.enabled:
+            # Everything between begin returning and commit being called is
+            # the client-visible execute phase.
+            tracer.complete("txn", "execute",
+                            ctx.begin_ended_at or commit_started,
+                            commit_started, track=self.name, txid=ctx.txid)
         yield from self._statement()
         write_shards = sorted(ctx.write_shards)
         if not write_shards:
             self.txns_committed += 1
+            self._trace_commit(ctx, commit_started, ctx.read_ts, shards=0)
             return ctx.read_ts
         if len(write_shards) == 1:
             try:
@@ -417,10 +458,25 @@ class ComputingNode(ClusterNode):
                 self.txns_aborted += 1
                 raise TransactionAborted(reply[1])
             self.txns_committed += 1
+            self._trace_commit(ctx, commit_started, reply[1], shards=1)
             return reply[1]
-        return (yield from self._commit_2pc(ctx, write_shards))
+        return (yield from self._commit_2pc(ctx, write_shards, commit_started))
 
-    def _commit_2pc(self, ctx: TxnContext, write_shards: list[int]):
+    def _trace_commit(self, ctx: TxnContext, started: int, ts: int,
+                      shards: int) -> None:
+        now = self.env.now
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.complete("txn", "commit", started, now, track=self.name,
+                            txid=ctx.txid, ts=ts, shards=shards)
+        metrics = self.env.metrics
+        if metrics.enabled:
+            metrics.counter("cn.commits", node=self.name).inc()
+            metrics.histogram("cn.txn_latency_ns", node=self.name).record(
+                now - (ctx.begin_started_at or started))
+
+    def _commit_2pc(self, ctx: TxnContext, write_shards: list[int],
+                    commit_started: int):
         prepares = [
             self.network.request(self.name, self._primary(shard),
                                  ("prepare", ctx.txid),
@@ -433,7 +489,7 @@ class ComputingNode(ClusterNode):
             self.txns_aborted += 1
             raise TransactionAborted("2PC prepare failed")
         try:
-            ts = yield from self.provider.commit_ts(ctx.mode)
+            ts = yield from self.provider.commit_ts(ctx.mode, txid=ctx.txid)
         except TransactionAborted:
             yield from self._abort_prepared_everywhere(ctx, write_shards)
             self.txns_aborted += 1
@@ -446,6 +502,7 @@ class ComputingNode(ClusterNode):
         ]
         yield settle(self.env, finishes)
         self.txns_committed += 1
+        self._trace_commit(ctx, commit_started, ts, shards=len(write_shards))
         return ts
 
     def _abort_prepared_everywhere(self, ctx: TxnContext,
@@ -498,14 +555,22 @@ class ComputingNode(ClusterNode):
             candidates, staleness_bound_ns=staleness_bound_ns,
             min_commit_ts=max(0, rcp - self.config.replica_lag_guard_ns),
             rng=self._route_rng)
+        metrics = self.env.metrics
         if chosen is None:
             if staleness_bound_ns is not None:
                 raise StalenessBoundError(
                     f"no node for shard {shard} within "
                     f"{staleness_bound_ns}ns staleness")
             if self.network.endpoint(primary_name).up:
+                if metrics.enabled:
+                    metrics.counter("ror.picks", cn=self.name,
+                                    target="primary_fallback").inc()
                 return primary_name, False
             raise ReplicaUnavailableError(f"no live node for shard {shard}")
+        if metrics.enabled:
+            metrics.counter(
+                "ror.picks", cn=self.name,
+                target="primary" if chosen.is_primary else "replica").inc()
         return chosen.name, not chosen.is_primary
 
     def ro_snapshot(self, tables: typing.Sequence[str], min_read_ts: int = 0):

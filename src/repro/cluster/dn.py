@@ -103,7 +103,24 @@ class DataNode(ClusterNode):
         return self.store.max_commit_ts
 
     def _spawn(self, generator, kind: str) -> None:
+        if self.env.metrics.enabled or self.env.tracer.enabled:
+            generator = self._observed(generator, kind)
         self.env.process(generator, name=f"{self.name}:{kind}")
+
+    def _observed(self, generator, kind: str):
+        """Delegating wrapper recording a handler's service time. Pure
+        ``yield from`` delegation: it adds no events, so wrapping cannot
+        change the simulated history."""
+        started = self.env.now
+        result = yield from generator
+        now = self.env.now
+        if self.env.metrics.enabled:
+            self.env.metrics.histogram("dn.service_ns", node=self.name,
+                                       op=kind).record(now - started)
+        if self.env.tracer.enabled:
+            self.env.tracer.complete("dn", kind, started, now,
+                                     track=self.name)
+        return result
 
     def _work(self, cost_ns: int):
         """Generator: occupy a worker slot for ``cost_ns`` of CPU."""
@@ -500,17 +517,30 @@ class DataNode(ClusterNode):
             policy = self._commit_policy(txid)
             self.engine.log_pending_commit(txid)
             try:
-                ts = yield from self.provider.commit_ts(txn_mode)
+                ts = yield from self.provider.commit_ts(txn_mode, txid=txid)
             except TransactionAborted as exc:
                 self.engine.abort(txid)
                 self.aborts += 1
                 request.reply(("abort", exc.reason))
                 return
             lsn = self.engine.commit(txid, ts)
-            yield self.acks.wait_for(lsn, policy)
+            yield from self._flush_wait(txid, lsn, policy)
             self.commits += 1
             request.reply(("ok", ts))
         self._spawn(run(), "commit_local")
+
+    def _flush_wait(self, txid: int, lsn: int, policy: ReplicationPolicy):
+        """Generator: wait for the commit record's replication acks,
+        recording the wait as the transaction's WAL-flush phase."""
+        started = self.env.now
+        yield self.acks.wait_for(lsn, policy)
+        now = self.env.now
+        if self.env.metrics.enabled:
+            self.env.metrics.histogram("wal.flush_wait_ns",
+                                       node=self.name).record(now - started)
+        if self.env.tracer.enabled:
+            self.env.tracer.complete("wal", "flush", started, now,
+                                     track=self.name, txid=txid, lsn=lsn)
 
     def _handle_prepare(self, request: Request) -> None:
         def run():
@@ -527,7 +557,7 @@ class DataNode(ClusterNode):
             yield from self._work(self.cost.commit_ns)
             policy = self._commit_policy(txid)
             lsn = self.engine.commit_prepared(txid, ts)
-            yield self.acks.wait_for(lsn, policy)
+            yield from self._flush_wait(txid, lsn, policy)
             self.commits += 1
             request.reply(("ok", ts))
         self._spawn(run(), "commit_prepared")

@@ -24,8 +24,6 @@ from repro.sim.events import settle
 from repro.sim.network import Network
 from repro.sim.units import ms
 
-if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.cluster.dn import DataNode
 
 
 @dataclass

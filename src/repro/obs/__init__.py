@@ -1,0 +1,78 @@
+"""Sim-native observability: metrics, transaction tracing, run reports.
+
+The layer is **determinism-preserving** by construction: instruments and
+spans only *record* — they never schedule simulation events, never consult
+wall clocks, and never alter control flow. Every timestamp is
+``Environment.now``. A run with observability enabled therefore produces a
+byte-identical event history to the same run without it
+(``tests/test_determinism.py`` proves this).
+
+Quickstart::
+
+    from repro import ClusterConfig, build_cluster, three_city
+
+    config = ClusterConfig.globaldb(three_city(),
+                                    metrics_enabled=True, trace_enabled=True)
+    db = build_cluster(config)
+    result = run_workload(db, workload, terminals=60, duration_s=1.0)
+
+    report = RunReport.capture(db, result)
+    print(report.render())                      # latency breakdown tables
+    db.env.tracer.to_jsonl("run.trace.jsonl")   # lossless span log
+    db.env.tracer.write_chrome_trace("run.trace.json")  # chrome://tracing
+
+Convert / summarize trace files offline with ``python -m repro.obs``.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_NS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace_dict,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.report import RunReport
+
+
+def enable_observability(env, metrics: bool = True, trace: bool = True,
+                         max_spans: int | None = 500_000):
+    """Attach live metrics/tracing to an environment (before building the
+    cluster, so construction-time instruments register too)."""
+    if metrics:
+        env.metrics = MetricsRegistry(env)
+    if trace:
+        env.tracer = Tracer(env, max_spans=max_spans)
+    return env.metrics, env.tracer
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "LATENCY_BUCKETS_NS",
+    "SIZE_BUCKETS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RunReport",
+    "chrome_trace_dict",
+    "read_jsonl",
+    "write_jsonl",
+    "enable_observability",
+]

@@ -57,12 +57,27 @@ class Replayer:
                     self._wake = None
                 self.busy = True
                 records = self._queue.popleft()
+                started = self.env.now
                 delay = self.replay_delay_ns(len(records))
                 if delay:
                     yield self.env.timeout(delay)
                 for record in records:
                     self.store.apply(record)
                 self.batches_replayed += 1
+                metrics = self.env.metrics
+                if metrics.enabled:
+                    node = self.store.name
+                    metrics.counter("replay.batches", node=node).inc()
+                    metrics.counter("replay.records",
+                                    node=node).inc(len(records))
+                    metrics.set_gauge("replay.backlog", len(self._queue),
+                                      node=node)
+                tracer = self.env.tracer
+                if tracer.enabled:
+                    tracer.complete("repl.replay", "batch", started,
+                                    self.env.now,
+                                    track=f"replay:{self.store.name}",
+                                    records=len(records))
         except Interrupt:
             # The owning node stopped replaying (e.g. it was promoted to
             # primary); drain nothing further.

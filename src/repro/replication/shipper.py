@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import SIZE_BUCKETS
 from repro.sim.core import Environment
 from repro.sim.events import Event
 from repro.sim.network import Network
@@ -68,6 +69,7 @@ class LogShipper:
         self.wire_bytes_total = 0
         self.nagle_stall_ns_total = 0
         self.paused = False
+        self._batch_opened_at = env.now
         # Catch up on anything already in the WAL, then follow appends.
         for record in wal.records_from(0):
             self._pending.append(record)
@@ -77,6 +79,8 @@ class LogShipper:
 
     # ------------------------------------------------------------------
     def _on_append(self, record: RedoRecord) -> None:
+        if not self._pending:
+            self._batch_opened_at = self.env.now
         self._pending.append(record)
         self._pending_bytes += record.size_bytes()
         if self._wake is not None and not self._wake.triggered:
@@ -122,6 +126,26 @@ class LogShipper:
         self.payload_bytes_total += payload_bytes
         self.wire_bytes_total += wire_bytes
         self.nagle_stall_ns_total += nagle_ns
+        metrics = self.env.metrics
+        if metrics.enabled:
+            channel = f"{self.src}->{self.dst}"
+            metrics.counter("ship.flushes", link=channel).inc()
+            metrics.counter("ship.wire_bytes", link=channel).inc(wire_bytes)
+            metrics.histogram("ship.batch_records", SIZE_BUCKETS,
+                              link=channel).record(len(records))
+            metrics.histogram("ship.batch_bytes", SIZE_BUCKETS,
+                              link=channel).record(payload_bytes)
+            metrics.histogram("ship.stall_ns", link=channel).record(
+                cpu_ns + nagle_ns + congestion_ns)
+            # How long the oldest record in this batch sat pending.
+            metrics.histogram("ship.flush_age_ns", link=channel).record(
+                self.env.now - self._batch_opened_at)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.complete("repl.ship", "flush", self._batch_opened_at,
+                            self.env.now, track=f"ship:{self.src}->{self.dst}",
+                            records=len(records), payload_bytes=payload_bytes,
+                            wire_bytes=wire_bytes)
         self.network.send(
             self.src, self.dst,
             payload=("redo_batch", self.src, records),

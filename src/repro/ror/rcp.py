@@ -17,7 +17,7 @@ collector dies, the next CN in deterministic order takes over.
 from __future__ import annotations
 
 import typing
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.core import Environment
 from repro.sim.events import settle
@@ -86,6 +86,7 @@ class RcpCollector:
     def poll(self, on_rcp: typing.Callable[[int], None]):
         """Generator: one polling round. Calls ``on_rcp`` with the computed
         RCP and pushes it to peer CNs."""
+        started = self.env.now
         requests = {
             name: self.network.request(
                 self.cn_name, name, ("max_commit_ts",),
@@ -106,6 +107,15 @@ class RcpCollector:
         rcp = compute_rcp(maxima)
         if rcp > self.last_rcp:
             self.last_rcp = rcp
+        metrics = self.env.metrics
+        if metrics.enabled:
+            metrics.counter("ror.rcp_polls", cn=self.cn_name).inc()
+            metrics.set_gauge("ror.rcp", self.last_rcp, cn=self.cn_name)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.complete("ror", "rcp_poll", started, self.env.now,
+                            track=self.cn_name, rcp=self.last_rcp,
+                            replicas=len(maxima))
         on_rcp(self.last_rcp)
         for peer in self.peer_cn_names:
             self.network.send(self.cn_name, peer,

@@ -23,9 +23,11 @@ from repro.txn.modes import TxnMode
 class StalenessEstimator:
     """Per-CN estimator fed by the CN's metric refresh loop."""
 
-    def __init__(self, env: Environment, gclock: GClockSource):
+    def __init__(self, env: Environment, gclock: GClockSource,
+                 name: str = ""):
         self.env = env
         self.gclock = gclock
+        self.name = name  # owning CN, used to label emitted metrics
         # GTM-mode rate tracking: (sim time, freshest counter) samples.
         self._last_sample_time: int | None = None
         self._last_sample_ts = 0
@@ -46,6 +48,10 @@ class StalenessEstimator:
                     self._rate_per_second = rate
         self._last_sample_time = now
         self._last_sample_ts = max(self._last_sample_ts, freshest_ts)
+        metrics = self.env.metrics
+        if metrics.enabled:
+            metrics.set_gauge("ror.frontier_ts", self._last_sample_ts,
+                              node=self.name)
 
     @property
     def rate_per_second(self) -> float:

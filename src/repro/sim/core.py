@@ -18,6 +18,8 @@ import typing
 from itertools import count
 
 from repro.errors import SimulationError
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER
 from repro.sim.events import Event, Interrupt, Timeout, PRIORITY_NORMAL, PRIORITY_URGENT
 
 
@@ -123,6 +125,13 @@ class Environment:
         self._queue: list[tuple[int, int, int, Event]] = []
         self._seq = count()
         self._active_process: Process | None = None
+        # Observability handles (see repro.obs). The defaults are shared
+        # no-op singletons, so instrumentation costs one attribute check
+        # when disabled; repro.obs.enable_observability swaps in live ones.
+        # Neither may ever schedule events — that is the determinism
+        # contract tests/test_determinism.py enforces.
+        self.metrics = NULL_REGISTRY
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> int:

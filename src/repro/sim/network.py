@@ -36,6 +36,18 @@ class Message:
     deliver_time: int
 
 
+def _payload_kind(payload: typing.Any) -> str:
+    """A low-cardinality name for a message payload (for traces/metrics)."""
+    if isinstance(payload, Request):
+        body = payload.body
+        if isinstance(body, tuple) and body and isinstance(body[0], str):
+            return body[0]
+        return type(body).__name__
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        return payload[0].strip("_")
+    return type(payload).__name__
+
+
 class Request:
     """RPC request payload wrapper.
 
@@ -233,6 +245,8 @@ class Network:
             link = self.link(src, dst)
             if link.blocked:
                 self.messages_dropped += 1
+                if self.env.metrics.enabled:
+                    self.env.metrics.counter("net.dropped", src=src, dst=dst).inc()
                 return
             jitter = 0
             if link.jitter_ns and self._jitter_stream is not None:
@@ -244,6 +258,17 @@ class Network:
             link.messages_sent += 1
             deliver_at = start_tx + tx + link.one_way_ns(jitter)
         deliver_at += extra_delay_ns
+        metrics = self.env.metrics
+        if metrics.enabled:
+            metrics.counter("net.messages", src=src, dst=dst).inc()
+            metrics.counter("net.bytes", src=src, dst=dst).inc(size_bytes)
+            metrics.histogram("net.delivery_ns").record(deliver_at - now)
+        tracer = self.env.tracer
+        if tracer.enabled and src != dst:
+            # The delivery time is fully determined at send time, so the
+            # whole in-flight interval can be recorded as one span.
+            tracer.complete("net", _payload_kind(payload), now, deliver_at,
+                            track=f"net:{src}->{dst}", size=size_bytes)
         message = Message(src, dst, payload, size_bytes, now, deliver_at)
         done = Event(self.env)
         done._ok = True
@@ -255,6 +280,9 @@ class Network:
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None or not endpoint.up:
             self.messages_dropped += 1
+            if self.env.metrics.enabled:
+                self.env.metrics.counter("net.dropped", src=message.src,
+                                         dst=message.dst).inc()
             payload = message.payload
             if isinstance(payload, tuple) and payload and payload[0] == "__rpc_reply__":
                 # A reply addressed to a dead caller: nothing to do.

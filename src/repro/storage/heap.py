@@ -11,7 +11,7 @@ without touching them.
 from __future__ import annotations
 
 import typing
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import StorageError
 from repro.storage.clog import CommitLog

@@ -79,7 +79,10 @@ class LockTable:
 
     def release_all(self, txid: int) -> None:
         """Release every lock held by ``txid``, waking FIFO waiters."""
-        for lock_key in self._held.pop(txid, set()):
+        # Sorted, not set order: set iteration follows string hashing, which
+        # PYTHONHASHSEED randomizes per process — releasing in hash order
+        # made waiter wake-ups (and whole histories) differ across runs.
+        for lock_key in sorted(self._held.pop(txid, set()), key=repr):
             self._release_one(lock_key)
 
     def _release_one(self, lock_key: tuple) -> None:

@@ -57,14 +57,23 @@ class GTMServer:
         if handler is None:
             request.fail(ModeTransitionError(f"GTM: unknown request {kind!r}"))
             return
+        if self.env.metrics.enabled:
+            self.env.metrics.counter("gtm.requests", kind=kind).inc()
+        tracer = self.env.tracer
         # Model a small fixed service time per request.
         if self.service_time_ns:
             def serve():
+                started = self.env.now
                 yield self.env.timeout(self.service_time_ns)
                 handler(request)
+                if tracer.enabled:
+                    tracer.complete("gtm", kind, started, self.env.now,
+                                    track=self.name)
             self.env.process(serve(), name=f"gtm:{kind}")
         else:
             handler(request)
+            if tracer.enabled:
+                tracer.instant("gtm", kind, track=self.name)
 
     # ------------------------------------------------------------------
     # Timestamp requests

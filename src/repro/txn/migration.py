@@ -72,24 +72,29 @@ class MigrationCoordinator:
         """Generator: migrate the whole cluster GTM -> GClock."""
         report = MigrationReport(direction="gtm->gclock", started_at=self.env.now)
         self.reports.append(report)
+        span = self.env.tracer.start("migration", "gtm->gclock", track=self.name)
         yield from self._set_gtm_mode(TxnMode.DUAL, report)
         yield from self._set_participants_mode(TxnMode.DUAL, report)
         # Dwell: 2x the max error bound observed during the transition.
         state = yield self.network.request(self.name, self.gtm_name, ("get_state",))
         dwell = 2 * state["max_err_seen"]
         report.dwell_ns = dwell
-        report.record(self.env.now, f"dwell {dwell}ns")
+        dwell_started = self.env.now
+        self._mark(report, f"dwell {dwell}ns")
         if dwell:
             yield self.env.timeout(dwell)
+        self._note_phase("dwell", dwell_started)
         yield from self._set_gtm_mode(TxnMode.GCLOCK, report)
         yield from self._set_participants_mode(TxnMode.GCLOCK, report)
         report.finished_at = self.env.now
+        span.finish(dwell_ns=dwell)
         return report
 
     def to_gtm(self):
         """Generator: migrate the whole cluster GClock -> GTM."""
         report = MigrationReport(direction="gclock->gtm", started_at=self.env.now)
         self.reports.append(report)
+        span = self.env.tracer.start("migration", "gclock->gtm", track=self.name)
         yield from self._set_gtm_mode(TxnMode.DUAL, report)
         yield from self._set_participants_mode(TxnMode.DUAL, report)
         # No dwell needed (Fig. 3): the server's counter jumps above the
@@ -97,18 +102,35 @@ class MigrationCoordinator:
         yield from self._set_gtm_mode(TxnMode.GTM, report)
         yield from self._set_participants_mode(TxnMode.GTM, report)
         report.finished_at = self.env.now
+        span.finish()
         return report
 
     # ------------------------------------------------------------------
+    def _mark(self, report: MigrationReport, step: str) -> None:
+        report.record(self.env.now, step)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.instant("migration", step, track=self.name)
+
+    def _note_phase(self, phase: str, started: int) -> None:
+        metrics = self.env.metrics
+        if metrics.enabled:
+            metrics.histogram("migration.phase_ns",
+                              phase=phase).record(self.env.now - started)
+
     def _set_gtm_mode(self, mode: TxnMode, report: MigrationReport):
+        started = self.env.now
         yield self.network.request(self.name, self.gtm_name, ("set_mode", mode))
-        report.record(self.env.now, f"gtm-server -> {mode}")
+        self._mark(report, f"gtm-server -> {mode}")
+        self._note_phase(f"server->{mode.name}", started)
 
     def _set_participants_mode(self, mode: TxnMode, report: MigrationReport):
+        started = self.env.now
         pending = [
             self.network.request(self.name, participant, ("set_mode", mode))
             for participant in self.participants
         ]
         if pending:
             yield self.env.all_of(pending)
-        report.record(self.env.now, f"participants -> {mode}")
+        self._mark(report, f"participants -> {mode}")
+        self._note_phase(f"participants->{mode.name}", started)

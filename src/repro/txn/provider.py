@@ -19,10 +19,9 @@ pinned to the mode under which they began; the provider resolves the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.clocks.gclock import GClockSource
 from repro.errors import ModeTransitionError, TransactionAborted
+from repro.obs.metrics import Counter, Histogram
 from repro.sim.core import Environment
 from repro.sim.network import Network
 from repro.txn.modes import TxnMode
@@ -36,15 +35,63 @@ _LEGAL_TRANSITIONS = {
 }
 
 
-@dataclass
 class TimestampStats:
-    """Counters for reporting (GTM round trips vs. local stamps, waits)."""
+    """Counters for reporting (GTM round trips vs. local stamps, waits).
 
-    gtm_round_trips: int = 0
-    local_stamps: int = 0
-    commit_wait_ns_total: int = 0
-    commit_waits: int = 0
-    aborts_on_cutover: int = 0
+    Backed by :mod:`repro.obs` instruments. When the node's environment has
+    a live :class:`~repro.obs.metrics.MetricsRegistry`, the instruments are
+    registered there (``ts.*`` with a ``node`` label) and show up in
+    registry snapshots; otherwise standalone instruments are used so the
+    stats keep counting with observability off. The original attribute API
+    (``gtm_round_trips`` etc.) is preserved as read-only properties.
+    """
+
+    __slots__ = ("_round_trips", "_local", "_waits", "_cutover_aborts")
+
+    def __init__(self, registry=None, node: str | None = None):
+        if registry is not None and registry.enabled and node is not None:
+            self._round_trips = registry.counter("ts.gtm_round_trips", node=node)
+            self._local = registry.counter("ts.local_stamps", node=node)
+            self._waits = registry.histogram("ts.commit_wait_ns", node=node)
+            self._cutover_aborts = registry.counter("ts.aborts_on_cutover",
+                                                    node=node)
+        else:
+            self._round_trips = Counter()
+            self._local = Counter()
+            self._waits = Histogram()
+            self._cutover_aborts = Counter()
+
+    def note_round_trip(self) -> None:
+        self._round_trips.inc()
+
+    def note_local_stamp(self) -> None:
+        self._local.inc()
+
+    def note_wait(self, wait_ns: int) -> None:
+        self._waits.record(wait_ns)
+
+    def note_cutover_abort(self) -> None:
+        self._cutover_aborts.inc()
+
+    @property
+    def gtm_round_trips(self) -> int:
+        return self._round_trips.value
+
+    @property
+    def local_stamps(self) -> int:
+        return self._local.value
+
+    @property
+    def commit_wait_ns_total(self) -> int:
+        return self._waits.sum
+
+    @property
+    def commit_waits(self) -> int:
+        return self._waits.count
+
+    @property
+    def aborts_on_cutover(self) -> int:
+        return self._cutover_aborts.value
 
     def mean_commit_wait_ns(self) -> float:
         if not self.commit_waits:
@@ -64,7 +111,7 @@ class TimestampProvider:
         self.gclock = gclock
         self.gtm_name = gtm_name
         self.mode = mode
-        self.stats = TimestampStats()
+        self.stats = TimestampStats(env.metrics, node_name)
 
     # ------------------------------------------------------------------
     # Mode management
@@ -96,23 +143,27 @@ class TimestampProvider:
         """
         mode = self.mode
         if mode is TxnMode.GTM:
+            started = self.env.now
             read_ts = yield self.network.request(
                 self.node_name, self.gtm_name, ("begin",))
-            self.stats.gtm_round_trips += 1
+            self.stats.note_round_trip()
+            self._trace_rpc("begin_rpc", started)
             return read_ts, mode
         if mode is TxnMode.DUAL:
             stamp = self.gclock.timestamp()
+            started = self.env.now
             read_ts = yield self.network.request(
                 self.node_name, self.gtm_name,
                 ("begin_dual", stamp.ts, stamp.err))
-            self.stats.gtm_round_trips += 1
+            self.stats.note_round_trip()
+            self._trace_rpc("begin_rpc", started)
             return read_ts, mode
         # GClock: take the timestamp and perform the invocation wait.
         stamp = self.gclock.timestamp()
-        self.stats.local_stamps += 1
+        self.stats.note_local_stamp()
         started = self.env.now
         yield from self.gclock.wait_until_after(stamp.ts)
-        self._note_wait(started)
+        self._note_wait(started, name="invocation_wait")
         return stamp.ts, mode
 
     def begin_no_wait(self) -> tuple[int, TxnMode]:
@@ -122,52 +173,58 @@ class TimestampProvider:
         last-committed timestamp (single-shard reads); callers must not use
         this for multi-shard snapshots.
         """
-        self.stats.local_stamps += 1
+        self.stats.note_local_stamp()
         return self.gclock.timestamp().ts, self.mode
 
     # ------------------------------------------------------------------
     # Commit
     # ------------------------------------------------------------------
-    def commit_ts(self, txn_mode: TxnMode):
+    def commit_ts(self, txn_mode: TxnMode, txid=None):
         """Generator: returns the commit timestamp for a transaction that
         began under ``txn_mode``, applying the mode-appropriate wait.
 
-        Raises :class:`TransactionAborted` for GTM transactions stranded by
-        a GClock cutover.
+        ``txid`` (when the caller has one) is attached to the emitted
+        commit-wait spans so run reports can attribute the wait to the
+        transaction. Raises :class:`TransactionAborted` for GTM
+        transactions stranded by a GClock cutover.
         """
         effective = self._effective_commit_mode(txn_mode)
         if effective is TxnMode.GTM:
+            started = self.env.now
             reply = yield self.network.request(
                 self.node_name, self.gtm_name, ("commit_gtm",))
-            self.stats.gtm_round_trips += 1
+            self.stats.note_round_trip()
+            self._trace_rpc("commit_rpc", started, txid=txid)
             if reply[0] == "abort":
-                self.stats.aborts_on_cutover += 1
+                self.stats.note_cutover_abort()
                 raise TransactionAborted(reply[1])
             _ok, ts, wait_ns = reply
             if wait_ns:
                 started = self.env.now
                 yield self.env.timeout(wait_ns)
-                self._note_wait(started)
+                self._note_wait(started, txid=txid)
             return ts
         if effective is TxnMode.DUAL:
             stamp = self.gclock.timestamp()
+            started = self.env.now
             reply = yield self.network.request(
                 self.node_name, self.gtm_name,
                 ("commit_dual", stamp.ts, stamp.err))
-            self.stats.gtm_round_trips += 1
+            self.stats.note_round_trip()
+            self._trace_rpc("commit_rpc", started, txid=txid)
             _ok, ts, _wait = reply
             # Commit-wait so later GClock transactions anywhere get larger
             # timestamps even though ts was issued centrally.
             started = self.env.now
             yield from self.gclock.wait_until_after(ts)
-            self._note_wait(started)
+            self._note_wait(started, txid=txid)
             return ts
         # Pure GClock commit: local stamp + commit wait. Zero GTM traffic.
         stamp = self.gclock.timestamp()
-        self.stats.local_stamps += 1
+        self.stats.note_local_stamp()
         started = self.env.now
         yield from self.gclock.wait_until_after(stamp.ts)
-        self._note_wait(started)
+        self._note_wait(started, txid=txid)
         return stamp.ts
 
     def _effective_commit_mode(self, txn_mode: TxnMode) -> TxnMode:
@@ -178,6 +235,17 @@ class TimestampProvider:
             return TxnMode.DUAL
         return txn_mode
 
-    def _note_wait(self, started: int) -> None:
-        self.stats.commit_waits += 1
-        self.stats.commit_wait_ns_total += self.env.now - started
+    def _note_wait(self, started: int, txid=None,
+                   name: str = "commit_wait") -> None:
+        now = self.env.now
+        self.stats.note_wait(now - started)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.complete("ts", name, started, now, track=self.node_name,
+                            txid=txid)
+
+    def _trace_rpc(self, name: str, started: int, txid=None) -> None:
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.complete("ts", name, started, self.env.now,
+                            track=self.node_name, txid=txid)

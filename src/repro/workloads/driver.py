@@ -28,14 +28,26 @@ class WorkloadStats:
     latencies_ns: list[int] = field(default_factory=list)
     by_type: dict[str, int] = field(default_factory=dict)
     window_ns: int = 0
+    window_start_ns: int = 0  # sim time the measurement window opened
+    # Sorted view of latencies_ns, rebuilt lazily: percentile queries after
+    # a run are common and must not re-sort per call.
+    _sorted_cache: list[int] | None = field(
+        default=None, repr=False, compare=False)
 
     def record(self, txn_type: str, latency_ns: int, ok: bool) -> None:
         if ok:
             self.committed += 1
             self.latencies_ns.append(latency_ns)
+            self._sorted_cache = None
             self.by_type[txn_type] = self.by_type.get(txn_type, 0) + 1
         else:
             self.aborted += 1
+
+    def _sorted_latencies(self) -> list[int]:
+        if (self._sorted_cache is None
+                or len(self._sorted_cache) != len(self.latencies_ns)):
+            self._sorted_cache = sorted(self.latencies_ns)
+        return self._sorted_cache
 
     # ------------------------------------------------------------------
     @property
@@ -49,19 +61,38 @@ class WorkloadStats:
         total = self.committed + self.aborted
         return self.aborted / total if total else 0.0
 
+    @staticmethod
+    def _pick(ordered: list[int], percentile: float) -> int:
+        index = min(len(ordered) - 1,
+                    max(0, round(percentile / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
     def latency_percentile_ms(self, percentile: float) -> float:
         if not self.latencies_ns:
             return 0.0
-        ordered = sorted(self.latencies_ns)
-        index = min(len(ordered) - 1,
-                    max(0, round(percentile / 100 * (len(ordered) - 1))))
-        return ns_to_ms(ordered[index])
+        return ns_to_ms(self._pick(self._sorted_latencies(), percentile))
 
     @property
     def mean_latency_ms(self) -> float:
         if not self.latencies_ns:
             return 0.0
         return ns_to_ms(sum(self.latencies_ns) / len(self.latencies_ns))
+
+    def summary(self) -> dict:
+        """All the headline numbers from one pass over the data."""
+        ordered = self._sorted_latencies()
+        pick = (lambda pct: ns_to_ms(self._pick(ordered, pct))) \
+            if ordered else (lambda pct: 0.0)
+        return {
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "throughput_per_s": self.throughput_per_s,
+            "abort_rate": self.abort_rate,
+            "mean_ms": self.mean_latency_ms,
+            "p50_ms": pick(50),
+            "p95_ms": pick(95),
+            "p99_ms": pick(99),
+        }
 
 
 @dataclass
@@ -118,6 +149,8 @@ def run_workload(db: "GlobalDB", workload: Workload, terminals: int,
     start_counting_at = env.now + round(warmup_s * SECOND)
     stop_at = start_counting_at + round(duration_s * SECOND)
 
+    tracer = env.tracer
+
     def terminal(terminal_id: int):
         cn = target_cns[terminal_id % len(target_cns)]
         while env.now < stop_at:
@@ -128,6 +161,9 @@ def run_workload(db: "GlobalDB", workload: Workload, terminals: int,
                 ok = True
             except TransactionAborted:
                 ok = False
+            if tracer.enabled:
+                tracer.complete("txn", txn_type or "txn", started, env.now,
+                                track=f"terminal-{terminal_id}", ok=ok)
             if env.now >= start_counting_at and env.now < stop_at:
                 stats.record(txn_type or "txn", env.now - started, ok)
 
@@ -135,4 +171,5 @@ def run_workload(db: "GlobalDB", workload: Workload, terminals: int,
         env.process(terminal(terminal_id), name=f"terminal-{terminal_id}")
     env.run(until=stop_at)
     stats.window_ns = stop_at - start_counting_at
+    stats.window_start_ns = start_counting_at
     return WorkloadResult(stats=stats, duration_s=duration_s, terminals=terminals)

@@ -218,7 +218,7 @@ class TpccWorkload:
                 "ol_quantity": quantity, "ol_amount": amount,
                 "ol_delivery_d": 0,
             })
-        del warehouse, customer, total
+        del warehouse, customer, stock, total
         yield from cn.g_commit(ctx)
 
     # ------------------------------------------------------------------

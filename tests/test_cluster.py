@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     ClusterConfig,
-    ReplicationPolicy,
     TransactionAborted,
     TxnMode,
     build_cluster,
@@ -304,7 +303,7 @@ class TestFailureInjection:
     def test_collector_failover(self):
         db = build_cluster(ClusterConfig.globaldb(one_region(),
                                                   cns_per_region=2))
-        session = setup_accounts(db)
+        setup_accounts(db)
         db.run_for(0.2)
         region = db.cns[0].region
         region_cns = [cn for cn in db.cns if cn.region == region]

@@ -5,14 +5,14 @@ configurations and seeds must produce bit-identical histories, or the
 benchmark tables in EXPERIMENTS.md would not be checkable claims.
 """
 
-import pytest
-
 from repro import ClusterConfig, TransactionAborted, build_cluster, one_region, three_city
 from repro.workloads import SysbenchConfig, SysbenchWorkload, TpccConfig, TpccWorkload, run_workload
 
 
-def run_once(seed=0, workload_seed=42):
-    db = build_cluster(ClusterConfig.globaldb(one_region(), seed=seed))
+def run_once(seed=0, workload_seed=42, observability=False):
+    db = build_cluster(ClusterConfig.globaldb(
+        one_region(), seed=seed, metrics_enabled=observability,
+        trace_enabled=observability))
     workload = TpccWorkload(TpccConfig(
         warehouses=2, districts_per_warehouse=2, customers_per_district=10,
         items=20, initial_orders_per_district=5, seed=workload_seed))
@@ -29,6 +29,14 @@ class TestDeterminism:
 
     def test_different_workload_seed_changes_history(self):
         assert run_once(workload_seed=42) != run_once(workload_seed=43)
+
+    def test_observability_does_not_perturb_history(self):
+        """Metrics + tracing are passive: a traced run's history is
+        identical to the untraced run's, down to every latency sample."""
+        assert run_once(observability=True) == run_once(observability=False)
+
+    def test_traced_run_is_itself_deterministic(self):
+        assert run_once(observability=True) == run_once(observability=True)
 
     def test_sysbench_deterministic(self):
         def once():

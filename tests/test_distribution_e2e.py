@@ -1,7 +1,5 @@
 """End-to-end tests for replicated and range-distributed tables."""
 
-import pytest
-
 from repro import (
     ClusterConfig,
     ColumnDef,

@@ -1,8 +1,6 @@
 """Tests driving data-node RPC handlers directly (batches, status,
 heartbeats, conflicts, unknown requests) and GTM server details."""
 
-import pytest
-
 from repro import ClusterConfig, TxnMode, build_cluster, one_region
 from repro.errors import WriteConflict
 from repro.sim.units import ms, us

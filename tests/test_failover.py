@@ -41,7 +41,7 @@ class TestReplicaServiceDuringOutage:
         """Paper: replicas keep serving read-only queries while the primary
         is down (even before/without promotion)."""
         db = build_cluster(ClusterConfig.globaldb(three_city()))
-        session = load_accounts(db)
+        load_accounts(db)
         victim_shard = 0
         db.primaries[victim_shard].fail()
         db.run_for(0.4)  # metrics notice
@@ -173,7 +173,7 @@ class TestPromotion:
         the replica (PENDING_COMMIT replayed, outcome lost): promotion
         aborts it and readers unblock."""
         db = build_failover_db()
-        session = load_accounts(db)
+        load_accounts(db)
         victim_shard = 0
         key = key_on_shard(db, victim_shard)
         primary = db.primaries[victim_shard]

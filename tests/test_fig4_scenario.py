@@ -13,8 +13,6 @@ redo may not have arrived on every shard) and Trx5 (which might depend on
 Trx4) are not.
 """
 
-import pytest
-
 from repro.ror import compute_rcp
 from repro.replication.replica import ReplicaStore
 from repro.sim import Environment

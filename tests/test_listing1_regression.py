@@ -16,8 +16,6 @@ tests build the interleaving with controlled skew and show (a) the wait
 restores visibility and (b) without the wait the anomaly genuinely occurs.
 """
 
-import pytest
-
 from repro.clocks import (
     ClockSyncConfig,
     ClockSyncDaemon,

@@ -3,7 +3,7 @@ SQL executor edges, timestamp provider edges, and the bench CLI."""
 
 import pytest
 
-from repro import ClusterConfig, build_cluster, one_region, three_city
+from repro import ClusterConfig, build_cluster, one_region
 from repro.bench.__main__ import EXPERIMENTS, main as bench_main
 from repro.errors import SqlError
 from repro.sim import Environment, ms

@@ -101,7 +101,6 @@ class TestClusterUnderPartition:
         """Replicas behind the cut stop applying; the RCP (a min) stalls —
         consistency preserved — and resumes after healing via catch-up."""
         db, session = self.build()
-        rcp_before = session.rcp
         db.network.set_partition("xian", "dongguan")
         key = self.local_key(db, "xian")
         for i in range(5):

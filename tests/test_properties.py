@@ -22,7 +22,7 @@ from repro.sim import Environment, ms, us
 from repro.sim.rand import RandomStreams
 from repro.storage import ColumnDef, Snapshot, StorageEngine, TableSchema
 from repro.storage.clog import CommitLog
-from repro.storage.heap import HeapTable, RowVersion, version_visible
+from repro.storage.heap import version_visible
 
 
 def make_sources(env, node_count, seed, max_drift_ppm=200.0):

@@ -1,11 +1,8 @@
 """Integration tests for RCP freshness machinery: heartbeats, collectors,
 DDL fencing, and the replica safe-time wait."""
 
-import pytest
-
-from repro import ClusterConfig, TxnMode, build_cluster, one_region, three_city
-from repro.cluster.cn import CnConfig
-from repro.sim.units import ms, ns_to_ms, seconds
+from repro import ClusterConfig, build_cluster, one_region
+from repro.sim.units import ms
 
 
 def idle_db(**overrides):
@@ -111,7 +108,6 @@ class TestDdlFencing:
         session.insert("t2", {"k": 1, "v": 7})
         session.commit()
         cn = session.cn
-        fallbacks_before = cn.primary_fallback_reads
         ror_before = cn.ror_reads
         # Immediately: the RCP is behind the DDL timestamp, so the read
         # must be served by a primary (rule 1 and 2 both fail).

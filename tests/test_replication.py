@@ -1,14 +1,10 @@
 """Unit tests for replication: shipper, replayer, replica store, quorums."""
 
-import pytest
-
-from repro.errors import WriteConflict
 from repro.replication import AckTracker, LogShipper, ReplicationPolicy, ShipperConfig
 from repro.replication.replayer import Replayer
 from repro.replication.replica import ReplicaStore
 from repro.sim import Environment, ms, us
 from repro.sim.network import Network
-from repro.sim.transport import TransportConfig
 from repro.storage import (
     ColumnDef,
     RedoCommit,

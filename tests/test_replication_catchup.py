@@ -1,7 +1,5 @@
 """Redo-gap detection and streaming catch-up after replica outages."""
 
-import pytest
-
 from repro import ClusterConfig, build_cluster, one_region
 from repro.storage.snapshot import Snapshot
 

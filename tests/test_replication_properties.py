@@ -1,10 +1,8 @@
 """Property-based replication tests: a replica that has consumed the whole
 redo stream is indistinguishable from its primary."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import WriteConflict
 from repro.replication.replayer import Replayer
 from repro.replication.replica import ReplicaStore
 from repro.sim import Environment

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.clocks import ClockSyncConfig, ClockSyncDaemon, GClockSource, GlobalTimeDevice, PhysicalClock
 from repro.ror import NodeMetrics, RcpState, StalenessEstimator, choose_node, compute_rcp, skyline
 from repro.sim import Environment, ms, seconds, us

@@ -10,7 +10,6 @@ from repro import (
     TransactionAborted,
     build_cluster,
     one_region,
-    three_city,
 )
 from repro.bench.harness import ExperimentTable, Scale
 from repro.errors import SimulationError

@@ -7,10 +7,8 @@ from repro.errors import SqlError
 from repro.sql.ast_nodes import (
     Aggregate,
     BinaryOp,
-    ColumnRef,
     CreateTable,
     Insert,
-    Literal,
     Param,
     Select,
     Update,

@@ -14,7 +14,6 @@ from repro.storage import (
     RedoDelete,
     RedoHeartbeat,
     RedoInsert,
-    RedoUpdate,
     RowVersion,
     Snapshot,
     StorageEngine,

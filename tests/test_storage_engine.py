@@ -10,7 +10,6 @@ from repro.errors import (
 )
 from repro.sim import Environment
 from repro.storage import (
-    Catalog,
     ColumnDef,
     DistributionSpec,
     RedoCommit,

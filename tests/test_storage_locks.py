@@ -1,7 +1,5 @@
 """Unit tests for the row lock table."""
 
-import pytest
-
 from repro.errors import WriteConflict
 from repro.sim import Environment, ms
 from repro.storage.locks import LockTable

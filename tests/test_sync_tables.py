@@ -1,8 +1,6 @@
 """Per-table synchronous replication (the paper's future-work feature:
 sync replicated tables coexisting with async tables)."""
 
-import pytest
-
 from repro import (
     ClusterConfig,
     ColumnDef,

@@ -1,11 +1,8 @@
 """MVCC vacuum: version reclamation, freezing, and clog pruning."""
 
-import pytest
-
 from repro import ClusterConfig, build_cluster, one_region
 from repro.sim import Environment
 from repro.storage import ColumnDef, Snapshot, StorageEngine, TableSchema
-from repro.storage.vacuum import prune_clog, vacuum_heap, vacuum_tables
 
 
 def make_engine():

@@ -1,7 +1,6 @@
 """Property-based vacuum tests: reclamation never changes what any
 snapshot at or above the horizon can read."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim import Environment
