@@ -1,0 +1,166 @@
+"""Hash-seed perturbation harness: the dynamic half of simlint.
+
+Static rules (SIM101–SIM106) catch the *patterns* that break determinism;
+this harness catches the *fact*. It runs the same short traced simulation
+in N fresh subprocesses, each under a distinct ``PYTHONHASHSEED``, and
+compares the ``repro.obs`` trace digests. Any hash-order dependence left
+in a scheduling path — a set iterated before an event is enqueued, a dict
+keyed by object identity — shows up as diverging digests, exactly the bug
+class PR 1 found in ``storage/locks.py`` by hand-diffing traces.
+
+Run it as::
+
+    python -m repro.lint --determinism --seeds 3
+
+Each child executes ``python -m repro.lint.determinism`` (this module),
+which prints a one-line JSON summary of its run; the parent compares.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+
+#: Defaults tuned so three child runs finish in well under a CI minute.
+DEFAULT_SEEDS = 3
+DEFAULT_DURATION_S = 0.2
+DEFAULT_WARMUP_S = 0.05
+CHILD_TIMEOUT_S = 600
+
+
+def smoke_run(duration_s: float = DEFAULT_DURATION_S,
+              warmup_s: float = DEFAULT_WARMUP_S,
+              seed: int = 0, workload_seed: int = 42) -> dict:
+    """One small traced One-Region TPC-C run, summarised for comparison.
+
+    The digest covers every recorded span (ordering, timing, payloads);
+    the scalar fields make a mismatch report human-readable."""
+    from repro import ClusterConfig, build_cluster, one_region
+    from repro.workloads import TpccConfig, TpccWorkload, run_workload
+
+    db = build_cluster(ClusterConfig.globaldb(
+        one_region(), seed=seed, metrics_enabled=False, trace_enabled=True))
+    workload = TpccWorkload(TpccConfig(
+        warehouses=2, districts_per_warehouse=2, customers_per_district=10,
+        items=20, initial_orders_per_district=5, seed=workload_seed))
+    result = run_workload(db, workload, terminals=4, duration_s=duration_s,
+                          warmup_s=warmup_s)
+    return {
+        "digest": db.env.tracer.digest(),
+        "spans": len(db.env.tracer.spans),
+        "committed": result.stats.committed,
+        "aborted": result.stats.aborted,
+        "sim_now_ns": db.env.now,
+        "hash_seed": os.environ.get("PYTHONHASHSEED", "<unset>"),
+    }
+
+
+@dataclass
+class DeterminismResult:
+    """Outcome of one perturbation sweep."""
+
+    ok: bool
+    runs: list[dict]
+    errors: list[str]
+
+    def render(self) -> str:
+        lines = []
+        for run in self.runs:
+            lines.append(
+                f"  PYTHONHASHSEED={run['hash_seed']:<6} "
+                f"digest={run['digest'][:16]}… spans={run['spans']} "
+                f"committed={run['committed']} aborted={run['aborted']}")
+        lines.extend(f"  ERROR: {error}" for error in self.errors)
+        digests = {run["digest"] for run in self.runs}
+        if self.ok:
+            lines.append(f"determinism PASS: {len(self.runs)} runs under "
+                         f"distinct hash seeds, 1 digest")
+        else:
+            lines.append(f"determinism FAIL: {len(digests)} distinct "
+                         f"digest(s) across {len(self.runs)} run(s) — "
+                         f"hash-order dependence in a scheduling path")
+        return "\n".join(lines)
+
+
+def _child_env(hash_seed: int) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    # Make sure the child resolves the same `repro` package as the parent,
+    # whatever PYTHONPATH the parent was launched with.
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    existing = env.get("PYTHONPATH", "")
+    paths = [src_dir] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    return env
+
+
+def run_perturbation(seeds: int = DEFAULT_SEEDS,
+                     duration_s: float = DEFAULT_DURATION_S,
+                     warmup_s: float = DEFAULT_WARMUP_S,
+                     echo=None) -> DeterminismResult:
+    """Run the smoke sim under ``seeds`` distinct hash seeds and compare.
+
+    Hash seeds are spread out (1, 1001, 2001, ...) rather than 0..N-1
+    because ``PYTHONHASHSEED=0`` *disables* randomization — a run that only
+    compared seed 0 against itself would prove nothing.
+    """
+    runs: list[dict] = []
+    errors: list[str] = []
+    for index in range(seeds):
+        hash_seed = 1 + index * 1000
+        command = [sys.executable, "-m", "repro.lint.determinism",
+                   "--duration", str(duration_s), "--warmup", str(warmup_s)]
+        try:
+            proc = subprocess.run(
+                command, env=_child_env(hash_seed), capture_output=True,
+                text=True, timeout=CHILD_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            errors.append(f"child (hash seed {hash_seed}) timed out after "
+                          f"{CHILD_TIMEOUT_S}s")
+            continue
+        if proc.returncode != 0:
+            tail = proc.stderr.strip().splitlines()[-1:] or ["<no stderr>"]
+            errors.append(f"child (hash seed {hash_seed}) exited "
+                          f"{proc.returncode}: {tail[0]}")
+            continue
+        try:
+            run = json.loads(proc.stdout.strip().splitlines()[-1])
+        except (ValueError, IndexError):
+            errors.append(f"child (hash seed {hash_seed}) printed no JSON "
+                          f"summary")
+            continue
+        runs.append(run)
+        if echo is not None:
+            echo(f"  run {index + 1}/{seeds} (PYTHONHASHSEED={hash_seed}): "
+                 f"digest {run['digest'][:16]}…")
+    digests = {run["digest"] for run in runs}
+    ok = not errors and len(runs) == seeds and len(digests) == 1
+    return DeterminismResult(ok=ok, runs=runs, errors=errors)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Child entry point: run one smoke sim, print its JSON summary."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.determinism",
+        description="One traced smoke run (child of --determinism).")
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION_S)
+    parser.add_argument("--warmup", type=float, default=DEFAULT_WARMUP_S)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workload-seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    summary = smoke_run(duration_s=args.duration, warmup_s=args.warmup,
+                        seed=args.seed, workload_seed=args.workload_seed)
+    print(json.dumps(summary, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,287 @@
+"""Lightweight set-type inference for SIM103.
+
+This is not a type checker: it answers exactly one question — "could this
+expression be a ``set``/``frozenset``?" — with just enough propagation to
+catch the bug class that bit this repo (PR 1's ``storage/locks.py``: lock
+release iterated a ``set``, so wake-up order followed ``PYTHONHASHSEED``).
+
+What it tracks:
+
+- set/dict literals, comprehensions, and ``set()``/``frozenset()``/``dict()``
+  calls;
+- annotations, including nested ones (``dict[str, dict[Any, set]]``), on
+  locals, parameters, class-level fields, and ``self.attr`` assignments;
+- propagation through dict access — ``d[k]``, ``d.get(k, default)``,
+  ``d.pop(k, default)``, ``d.setdefault(k, v)`` — and through set-returning
+  set methods (``union``, ``intersection``, ...);
+- ``for`` target binding (``for bucket in d.values(): ...``).
+
+Everything else is :data:`UNKNOWN`, which never flags. False negatives are
+acceptable (the ``--determinism`` harness is the dynamic backstop); false
+positives should be rare enough that a pragma with a justification is
+reasonable.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """``kind`` is ``"set"``, ``"dict"`` or ``"other"``; ``value`` is the
+    mapped-to type for dicts (None when unknown)."""
+
+    kind: str
+    value: "TypeInfo | None" = None
+
+
+SET = TypeInfo("set")
+OTHER = TypeInfo("other")
+UNKNOWN: TypeInfo | None = None
+
+
+def dict_of(value: TypeInfo | None) -> TypeInfo:
+    return TypeInfo("dict", value)
+
+
+def is_set(info: TypeInfo | None) -> bool:
+    return info is not None and info.kind == "set"
+
+
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "MutableSet",
+                    "AbstractSet"}
+_DICT_ANNOTATIONS = {"dict", "Dict", "defaultdict", "DefaultDict",
+                     "OrderedDict", "Counter", "Mapping", "MutableMapping"}
+#: set methods returning a new set
+_SET_PRODUCERS = {"union", "intersection", "difference",
+                  "symmetric_difference", "copy"}
+#: dict methods returning a mapped value
+_DICT_VALUE_METHODS = {"get", "pop", "setdefault"}
+
+
+def _tail(node: ast.expr) -> str | None:
+    """Last identifier of a Name/Attribute chain (``typing.Set`` -> ``Set``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def parse_annotation(node: ast.expr | None) -> TypeInfo | None:
+    """Interpret an annotation AST as a :class:`TypeInfo`."""
+    if node is None:
+        return UNKNOWN
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return UNKNOWN
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        tail = _tail(node)
+        if tail in _SET_ANNOTATIONS:
+            return SET
+        if tail in _DICT_ANNOTATIONS:
+            return dict_of(UNKNOWN)
+        return UNKNOWN
+    if isinstance(node, ast.Subscript):
+        tail = _tail(node.value)
+        if tail in _SET_ANNOTATIONS:
+            return SET
+        if tail in _DICT_ANNOTATIONS:
+            slice_node = node.slice
+            if isinstance(slice_node, ast.Tuple) and len(slice_node.elts) >= 2:
+                return dict_of(parse_annotation(slice_node.elts[-1]))
+            return dict_of(UNKNOWN)
+        if tail == "Optional":
+            return parse_annotation(node.slice)
+        return UNKNOWN
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # X | None unions: the non-None side decides.
+        left = parse_annotation(node.left)
+        return left if left is not None else parse_annotation(node.right)
+    return UNKNOWN
+
+
+class Scope:
+    """Name -> TypeInfo bindings for one function (plus ``self.attr``)."""
+
+    def __init__(self, attrs: dict[str, TypeInfo] | None = None):
+        self.names: dict[str, TypeInfo] = {}
+        #: ``self.<attr>`` types, harvested from the enclosing class.
+        self.attrs: dict[str, TypeInfo] = dict(attrs or {})
+
+    def bind(self, name: str, info: TypeInfo | None) -> None:
+        if info is not None:
+            self.names[name] = info
+
+    def infer(self, node: ast.expr) -> TypeInfo | None:
+        """Best-effort type of ``node`` under this scope."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return SET
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return dict_of(UNKNOWN)
+        if isinstance(node, ast.Name):
+            return self.names.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return self.attrs.get(node.attr)
+            return UNKNOWN
+        if isinstance(node, ast.Subscript):
+            container = self.infer(node.value)
+            if container is not None and container.kind == "dict":
+                return container.value
+            return UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+            # ``d.get(k) or ()``: any set-typed operand taints the result.
+            for operand in node.values:
+                info = self.infer(operand)
+                if info is not None:
+                    return info
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            return self.infer(node.body) or self.infer(node.orelse)
+        if isinstance(node, ast.NamedExpr):
+            return self.infer(node.value)
+        return UNKNOWN
+
+    def _infer_call(self, node: ast.Call) -> TypeInfo | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ("set", "frozenset"):
+                return SET
+            if func.id in ("dict", "defaultdict", "OrderedDict", "Counter"):
+                return dict_of(UNKNOWN)
+            if func.id in ("sorted", "list", "tuple"):
+                return OTHER
+            return UNKNOWN
+        if isinstance(func, ast.Attribute):
+            base = self.infer(func.value)
+            if is_set(base) and func.attr in _SET_PRODUCERS:
+                return SET
+            if (base is not None and base.kind == "dict"
+                    and func.attr in _DICT_VALUE_METHODS):
+                return base.value
+            return UNKNOWN
+        return UNKNOWN
+
+    def element_type(self, iterable: ast.expr) -> TypeInfo | None:
+        """Type of the items produced by iterating ``iterable`` (used to
+        bind ``for`` targets, e.g. ``for bucket in d.values()``)."""
+        if isinstance(iterable, ast.Call) and \
+                isinstance(iterable.func, ast.Attribute):
+            base = self.infer(iterable.func.value)
+            if base is not None and base.kind == "dict":
+                if iterable.func.attr == "values":
+                    return base.value
+        return UNKNOWN
+
+    def bind_for_target(self, target: ast.expr, iterable: ast.expr) -> None:
+        element = self.element_type(iterable)
+        if element is None:
+            return
+        if isinstance(target, ast.Name):
+            self.bind(target.id, element)
+        elif isinstance(target, ast.Tuple) and \
+                isinstance(iterable, ast.Call) and \
+                isinstance(iterable.func, ast.Attribute) and \
+                iterable.func.attr == "items" and len(target.elts) == 2:
+            base = self.infer(iterable.func.value)
+            if base is not None and base.kind == "dict" and \
+                    isinstance(target.elts[1], ast.Name):
+                self.bind(target.elts[1].id, base.value)
+
+
+# ----------------------------------------------------------------------
+# Scope construction
+# ----------------------------------------------------------------------
+def class_attr_types(cls: ast.ClassDef) -> dict[str, TypeInfo]:
+    """``self.attr`` types for a class: class-level annotations (dataclass
+    fields included) plus annotated/inferable assignments in any method."""
+    attrs: dict[str, TypeInfo] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            info = parse_annotation(stmt.annotation)
+            if info is not None:
+                attrs[stmt.target.id] = info
+    for node in ast.walk(cls):
+        if isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Attribute) and \
+                isinstance(node.target.value, ast.Name) and \
+                node.target.value.id == "self":
+            info = parse_annotation(node.annotation)
+            if info is not None:
+                attrs[node.target.attr] = info
+        elif isinstance(node, ast.Assign) and node.targets:
+            target = node.targets[0]
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self" and \
+                    target.attr not in attrs:
+                info = Scope().infer(node.value)
+                if info is not None:
+                    attrs[target.attr] = info
+    return attrs
+
+
+def function_scope(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                   attrs: dict[str, TypeInfo] | None = None) -> Scope:
+    """Scope for one function: parameter annotations, then assignments and
+    ``for`` bindings collected in source order (a later rebinding to a
+    non-container type clears the name)."""
+    scope = Scope(attrs)
+    args = func.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        info = parse_annotation(arg.annotation)
+        if info is not None:
+            scope.bind(arg.arg, info)
+    _collect_bindings(scope, func)
+    return scope
+
+
+def module_scope(tree: ast.Module) -> Scope:
+    """Scope for module-level code (top-level assignments and loops)."""
+    scope = Scope()
+    _collect_bindings(scope, tree)
+    return scope
+
+
+def _collect_bindings(scope: Scope, root: ast.AST) -> None:
+    for node in _walk_function_body(root):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            info = parse_annotation(node.annotation)
+            if info is None and node.value is not None:
+                info = scope.infer(node.value)
+            scope.bind(node.target.id, info)
+        elif isinstance(node, ast.Assign):
+            info = scope.infer(node.value)
+            if info is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        scope.bind(target.id, info)
+        elif isinstance(node, ast.NamedExpr) and \
+                isinstance(node.target, ast.Name):
+            scope.bind(node.target.id, scope.infer(node.value))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            scope.bind_for_target(node.target, node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for comp in node.generators:
+                scope.bind_for_target(comp.target, comp.iter)
+
+
+def _walk_function_body(func: ast.AST) -> typing.Iterator[ast.AST]:
+    """Walk a function's own statements, not nested function/class bodies."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack[:0] = list(ast.iter_child_nodes(node))

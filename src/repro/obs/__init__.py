@@ -41,6 +41,7 @@ from repro.obs.trace import (
     Tracer,
     chrome_trace_dict,
     read_jsonl,
+    trace_digest,
     write_jsonl,
 )
 from repro.obs.report import RunReport
@@ -73,6 +74,7 @@ __all__ = [
     "RunReport",
     "chrome_trace_dict",
     "read_jsonl",
+    "trace_digest",
     "write_jsonl",
     "enable_observability",
 ]

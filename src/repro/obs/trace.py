@@ -29,6 +29,7 @@ Export formats: JSONL (one span object per line, lossless) and the Chrome
 
 from __future__ import annotations
 
+import hashlib
 import json
 import typing
 
@@ -189,6 +190,15 @@ class Tracer:
             json.dump(trace, fh)
         return len(trace["traceEvents"])
 
+    def digest(self) -> str:
+        """Order-sensitive content hash of every recorded span.
+
+        Two runs with identical event histories produce identical digests;
+        any divergence in scheduling order, timing, or span payloads
+        changes the hash. This is the primitive behind the cross-process
+        determinism harness (``python -m repro.lint --determinism``)."""
+        return trace_digest(span.to_dict() for span in self.spans)
+
 
 class NullTracer:
     """The default ``env.tracer``: all recording is a no-op."""
@@ -216,9 +226,25 @@ class NullTracer:
     def spans_in(self, cat: str, name: str | None = None) -> list:
         return []
 
+    def digest(self) -> str:
+        return trace_digest(())
+
 
 #: Shared default tracer.
 NULL_TRACER = NullTracer()
+
+
+def trace_digest(span_dicts: typing.Iterable[dict]) -> str:
+    """SHA-256 over canonical (sorted-key) JSON of each span, in order.
+
+    Works on live ``Span.to_dict()`` streams and on spans re-read from a
+    ``trace.jsonl`` file alike, so in-process and cross-process checks
+    compare the same value."""
+    hasher = hashlib.sha256()
+    for span in span_dicts:
+        hasher.update(json.dumps(span, sort_keys=True, default=str).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
 
 
 # ----------------------------------------------------------------------

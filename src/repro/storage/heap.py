@@ -145,7 +145,10 @@ class HeapTable:
         if index is None:
             raise StorageError(f"no index on {self.name}.{column}")
         rows = []
-        for key in index.get(value, ()):
+        # Sorted, not set order: bucket iteration order decides result-row
+        # order (e.g. TPC-C pay-by-lastname picks the middle row), and set
+        # order follows PYTHONHASHSEED — same bug class as locks.py PR 1.
+        for key in sorted(index.get(value, ()), key=repr):
             row = self.read(key, snapshot, clog)
             if row is not None and row.get(column) == value:
                 rows.append(row)

@@ -38,6 +38,27 @@ class TestDeterminism:
     def test_traced_run_is_itself_deterministic(self):
         assert run_once(observability=True) == run_once(observability=True)
 
+    def test_trace_digest_identical_across_fresh_runs(self):
+        """The obs trace digest — the value the cross-process
+        PYTHONHASHSEED harness (python -m repro.lint --determinism)
+        compares — is identical across two in-process runs on
+        freshly-built clusters."""
+        def digest_once():
+            db = build_cluster(ClusterConfig.globaldb(
+                one_region(), seed=0, trace_enabled=True))
+            workload = TpccWorkload(TpccConfig(
+                warehouses=2, districts_per_warehouse=2,
+                customers_per_district=10, items=20,
+                initial_orders_per_district=5, seed=42))
+            run_workload(db, workload, terminals=4, duration_s=0.3,
+                         warmup_s=0.05)
+            assert db.env.tracer.spans, "traced run recorded no spans"
+            return db.env.tracer.digest()
+
+        first, second = digest_once(), digest_once()
+        assert len(first) == 64
+        assert first == second
+
     def test_sysbench_deterministic(self):
         def once():
             db = build_cluster(ClusterConfig.globaldb(one_region(), seed=3))
