@@ -5,15 +5,27 @@ Usage::
     python -m repro.bench list
     python -m repro.bench fig6a
     python -m repro.bench fig6d --scale full
+    python -m repro.bench perf --scale quick
     python -m repro.bench all
 
 Each experiment prints the same paper-style table the benchmark suite
-records, without pytest in the way.
+records, without pytest in the way. ``perf`` is the wall-clock performance
+harness (writes ``BENCH_PERF.json``); see ``repro.bench.perf``.
+
+Scale selection: ``--scale`` wins when given; otherwise the
+``REPRO_BENCH_SCALE`` environment variable (via :meth:`Scale.from_env`,
+which rejects unknown values); otherwise quick.
+
+Set ``REPRO_PROFILE=1`` to wrap each experiment in :mod:`cProfile` and
+dump ``bench_<name>.prof`` next to the results (load with ``pstats`` or
+``snakeviz``). Profiling is host-side tooling only — it never feeds
+simulated state.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -28,6 +40,8 @@ from repro.bench import (
     fig6d_sysbench_point_select,
     migration_under_load,
 )
+from repro.bench.perf import render as render_perf
+from repro.bench.perf import run_perf
 
 EXPERIMENTS = {
     "fig1a": fig1a_motivation,
@@ -41,15 +55,42 @@ EXPERIMENTS = {
 }
 
 
+def _profiled(fn, name: str):
+    """Run ``fn()`` under cProfile when REPRO_PROFILE=1, dumping
+    ``bench_<name>.prof`` next to the results (current directory)."""
+    if os.environ.get("REPRO_PROFILE") != "1":
+        return fn()
+    import cProfile
+
+    profiler = cProfile.Profile()  # simlint: ignore[SIM101]
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        path = f"bench_{name}.prof"
+        profiler.dump_stats(path)
+        print(f"   (profile written to {path})", file=sys.stderr)
+
+
+def _resolve_scale(flag: str | None) -> Scale:
+    """``--scale`` beats ``REPRO_BENCH_SCALE`` beats quick."""
+    if flag is not None:
+        return Scale.full() if flag == "full" else Scale.quick()
+    return Scale.from_env()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce GaussDB-Global's evaluation figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all", "list"],
-                        help="which experiment to run")
-    parser.add_argument("--scale", choices=["quick", "full"], default="quick",
-                        help="client scale (default: quick)")
+                        choices=sorted(EXPERIMENTS) + ["all", "list", "perf"],
+                        help="which experiment to run ('perf' = wall-clock "
+                             "performance harness)")
+    parser.add_argument("--scale", choices=["quick", "full"], default=None,
+                        help="client scale; overrides REPRO_BENCH_SCALE "
+                             "(default: the environment variable, else quick)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -57,14 +98,24 @@ def main(argv: list[str] | None = None) -> int:
             doc_lines = (fn.__doc__ or "").strip().splitlines()
             summary = doc_lines[0] if doc_lines else fn.__name__
             print(f"{name:10s} {summary}")
+        print("perf       Wall-clock perf harness -> BENCH_PERF.json")
         return 0
 
-    scale = Scale.full() if args.scale == "full" else Scale.quick()
+    if args.experiment == "perf":
+        # perf has its own scales: quick (CI smoke) and standard (the
+        # baseline-comparison scenario). --scale full maps to standard.
+        perf_scale = (args.scale if args.scale is not None
+                      else _resolve_scale(None).name)
+        report = _profiled(lambda: run_perf(perf_scale), "perf")
+        print(render_perf(report))
+        return 0
+
+    scale = _resolve_scale(args.scale)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         # Host-side progress timing only — never feeds simulated state.
         started = time.time()  # simlint: ignore[SIM101]
-        table = EXPERIMENTS[name](scale)
+        table = _profiled(lambda fn=EXPERIMENTS[name]: fn(scale), name)
         print(table.render())
         print(f"   ({time.time() - started:.1f}s wall)\n")  # simlint: ignore[SIM101]
     return 0

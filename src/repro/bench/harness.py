@@ -34,8 +34,18 @@ class Scale:
 
     @classmethod
     def from_env(cls) -> "Scale":
-        choice = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
-        return cls.full() if choice == "full" else cls.quick()
+        """Scale named by ``REPRO_BENCH_SCALE`` (default quick).
+
+        An unrecognized value raises instead of silently running quick —
+        a typo like ``REPRO_BENCH_SCALE=fulll`` used to produce
+        quick-scale numbers labelled as a full run."""
+        choice = os.environ.get("REPRO_BENCH_SCALE", "quick").strip().lower()
+        if choice in ("", "quick"):
+            return cls.quick()
+        if choice == "full":
+            return cls.full()
+        raise ValueError(
+            f"unknown REPRO_BENCH_SCALE={choice!r}: expected 'quick' or 'full'")
 
 
 @dataclass

@@ -30,7 +30,7 @@ from repro.errors import (
     WriteConflict,
 )
 from repro.ror.rcp import RcpCollector, RcpState
-from repro.ror.skyline import NodeMetrics, choose_node
+from repro.ror.skyline import NodeMetrics, near_pool
 from repro.ror.staleness import StalenessEstimator
 from repro.sim.events import settle
 from repro.sim.network import Message
@@ -105,6 +105,9 @@ class ComputingNode(ClusterNode):
         # ROR state:
         self.rcp_state = RcpState()
         self.metrics: dict[str, NodeMetrics] = {}
+        # (shard, staleness_bound, min_commit_ts) -> skyline near-pool,
+        # invalidated on every metrics/placement change.
+        self._route_cache: dict[tuple, list[NodeMetrics]] = {}
         self.staleness = StalenessEstimator(self.env, self.gclock,
                                             name=self.name)
         self._collector: RcpCollector | None = None
@@ -151,6 +154,7 @@ class ComputingNode(ClusterNode):
 
     def _on_status_reply(self, name: str, sent_at: int, event) -> None:
         event.defused = True
+        self.invalidate_routes()
         if not event.ok:
             existing = self.metrics.get(name)
             if existing is not None:
@@ -170,7 +174,7 @@ class ComputingNode(ClusterNode):
             up=status["up"],
             is_primary=(status["role"] == "primary"),
         )
-        if status["role"] != "primary" and self.env.metrics.enabled:
+        if status["role"] != "primary" and self.env.metrics_on:
             # Replica lag as this CN estimates it (the skyline's input).
             self.env.metrics.set_gauge("ror.staleness_ns", staleness_ns,
                                        node=name)
@@ -225,6 +229,7 @@ class ComputingNode(ClusterNode):
         if kind == "placement_update":
             _kind, shard, new_primary = payload
             self.primary_of_shard[shard] = new_primary
+            self.invalidate_routes()
         elif kind == "rcp_update":
             _kind, rcp, collector = payload
             self._note_rcp_update()
@@ -253,7 +258,7 @@ class ComputingNode(ClusterNode):
                 yield self.env.timeout(self.config.statement_cost_ns)
         finally:
             self.pool.release()
-            if self.env.metrics.enabled:
+            if self.env.metrics_on:
                 self.env.metrics.histogram(
                     "cn.statement_ns",
                     node=self.name).record(self.env.now - started)
@@ -539,36 +544,53 @@ class ComputingNode(ClusterNode):
             return True
         return all(rcp > self.catalog.ddl_ts(table) for table in tables)
 
+    def invalidate_routes(self) -> None:
+        """Drop cached routing pools. Must be called after *any* change to
+        the inputs of :meth:`_choose_read_node`: the ``self.metrics``
+        table (status replies, failure marking) or the shard placement
+        (placement updates, failover rewiring)."""
+        self._route_cache.clear()
+
     def _choose_read_node(self, shard: int, rcp: int,
                           staleness_bound_ns: int | None) -> tuple[str, bool]:
-        """Pick (node_name, is_replica) for a shard read at the RCP."""
-        candidates = []
-        for name in self.replicas_of_shard.get(shard, []):
-            metrics = self.metrics.get(name)
-            if metrics is not None:
-                candidates.append(metrics)
-        primary_name = self._primary(shard)
-        primary_metrics = self.metrics.get(primary_name)
-        if primary_metrics is not None:
-            candidates.append(primary_metrics)
-        chosen = choose_node(
-            candidates, staleness_bound_ns=staleness_bound_ns,
-            min_commit_ts=max(0, rcp - self.config.replica_lag_guard_ns),
-            rng=self._route_rng)
-        metrics = self.env.metrics
-        if chosen is None:
+        """Pick (node_name, is_replica) for a shard read at the RCP.
+
+        The skyline near-pool is cached per ``(shard, bound, min_ts)``
+        between metric/placement changes; the pool's order — and hence the
+        ``rng.choice`` draw sequence — is identical to recomputing, so the
+        cache cannot alter simulated histories."""
+        min_ts = max(0, rcp - self.config.replica_lag_guard_ns)
+        cache_key = (shard, staleness_bound_ns, min_ts)
+        near = self._route_cache.get(cache_key)
+        if near is None:
+            candidates = []
+            for name in self.replicas_of_shard.get(shard, []):
+                metrics = self.metrics.get(name)
+                if metrics is not None:
+                    candidates.append(metrics)
+            primary_metrics = self.metrics.get(self._primary(shard))
+            if primary_metrics is not None:
+                candidates.append(primary_metrics)
+            near = near_pool(candidates, staleness_bound_ns, min_ts)
+            self._route_cache[cache_key] = near
+        if not near:
             if staleness_bound_ns is not None:
                 raise StalenessBoundError(
                     f"no node for shard {shard} within "
                     f"{staleness_bound_ns}ns staleness")
+            primary_name = self._primary(shard)
             if self.network.endpoint(primary_name).up:
-                if metrics.enabled:
-                    metrics.counter("ror.picks", cn=self.name,
-                                    target="primary_fallback").inc()
+                if self.env.metrics_on:
+                    self.env.metrics.counter("ror.picks", cn=self.name,
+                                             target="primary_fallback").inc()
                 return primary_name, False
             raise ReplicaUnavailableError(f"no live node for shard {shard}")
-        if metrics.enabled:
-            metrics.counter(
+        if len(near) == 1:
+            chosen = near[0]
+        else:
+            chosen = self._route_rng.choice(near)
+        if self.env.metrics_on:
+            self.env.metrics.counter(
                 "ror.picks", cn=self.name,
                 target="primary" if chosen.is_primary else "replica").inc()
         return chosen.name, not chosen.is_primary
@@ -614,6 +636,7 @@ class ComputingNode(ClusterNode):
             known = self.metrics.get(node)
             if known is not None:
                 known.up = False
+                self.invalidate_routes()
             primary = self._primary(shard)
             if node == primary or not self.network.endpoint(primary).up:
                 raise ReplicaUnavailableError(

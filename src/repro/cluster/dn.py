@@ -103,7 +103,7 @@ class DataNode(ClusterNode):
         return self.store.max_commit_ts
 
     def _spawn(self, generator, kind: str) -> None:
-        if self.env.metrics.enabled or self.env.tracer.enabled:
+        if self.env.metrics_on or self.env.trace_on:
             generator = self._observed(generator, kind)
         self.env.process(generator, name=f"{self.name}:{kind}")
 
@@ -114,10 +114,10 @@ class DataNode(ClusterNode):
         started = self.env.now
         result = yield from generator
         now = self.env.now
-        if self.env.metrics.enabled:
+        if self.env.metrics_on:
             self.env.metrics.histogram("dn.service_ns", node=self.name,
                                        op=kind).record(now - started)
-        if self.env.tracer.enabled:
+        if self.env.trace_on:
             self.env.tracer.complete("dn", kind, started, now,
                                      track=self.name)
         return result
@@ -221,6 +221,7 @@ class DataNode(ClusterNode):
         clog = CommitLog()
         clog._records = {txid: shallow_copy(record)
                          for txid, record in engine.clog._records.items()}
+        clog.rebuild_cache()
         store.clog = clog
         for name, heap in engine._tables.items():
             clone = HeapTable(name)
@@ -535,10 +536,10 @@ class DataNode(ClusterNode):
         started = self.env.now
         yield self.acks.wait_for(lsn, policy)
         now = self.env.now
-        if self.env.metrics.enabled:
+        if self.env.metrics_on:
             self.env.metrics.histogram("wal.flush_wait_ns",
                                        node=self.name).record(now - started)
-        if self.env.tracer.enabled:
+        if self.env.trace_on:
             self.env.tracer.complete("wal", "flush", started, now,
                                      track=self.name, txid=txid, lsn=lsn)
 

@@ -119,6 +119,7 @@ class FailoverManager:
                                for replica in replica_list]
             if cn._collector is not None:
                 cn._collector.replica_names = list(cn.all_replicas)
+            cn.invalidate_routes()
             self.network.send(self.name, cn.name,
                               ("placement_update", shard, chosen.name),
                               size_bytes=128)

@@ -34,6 +34,13 @@ class ShardMap:
         #: table -> sorted list of (upper_bound_exclusive, shard) for range
         #: distribution; computed from observed bounds at registration.
         self._range_bounds: dict[str, list[tuple[typing.Any, int]]] = {}
+        #: (table, dist_value) -> shard. Sound because the mapping is a
+        #: pure function of shard_count (fixed) and the table's
+        #: registration; cleared whenever a registration changes.
+        self._value_cache: dict[tuple, int] = {}
+        #: table -> position of the distribution column in the primary
+        #: key, or None when the key does not determine the shard.
+        self._key_plan: dict[str, int | None] = {}
 
     def register(self, schema: TableSchema,
                  range_bounds: list[tuple[typing.Any, int]] | None = None) -> None:
@@ -46,10 +53,14 @@ class ShardMap:
                 raise StorageError(
                     f"range-distributed table {schema.name} needs range_bounds")
             self._range_bounds[schema.name] = list(range_bounds)
+        self._value_cache.clear()
+        self._key_plan.clear()
 
     def unregister(self, table: str) -> None:
         self._schemas.pop(table, None)
         self._range_bounds.pop(table, None)
+        self._value_cache.clear()
+        self._key_plan.clear()
 
     def schema(self, table: str) -> TableSchema:
         schema = self._schemas.get(table)
@@ -62,19 +73,30 @@ class ShardMap:
 
     # ------------------------------------------------------------------
     def shard_for_value(self, table: str, dist_value: typing.Any) -> int:
-        """Shard id for a distribution-key value."""
+        """Shard id for a distribution-key value (memoized: the stable
+        hash is an md5, far more expensive than a dict probe)."""
+        cache_key = (table, dist_value)
+        shard = self._value_cache.get(cache_key)
+        if shard is not None:
+            return shard
         schema = self.schema(table)
         method = schema.distribution.method
         if method == "hash":
-            return stable_hash(dist_value) % self.shard_count
-        if method == "range":
-            for upper, shard in self._range_bounds[table]:
+            shard = stable_hash(dist_value) % self.shard_count
+        elif method == "range":
+            shard = None
+            for upper, bound_shard in self._range_bounds[table]:
                 if upper is None or dist_value < upper:
-                    return shard
+                    shard = bound_shard
+                    break
+            if shard is None:
+                raise StorageError(
+                    f"value {dist_value!r} outside range bounds of {table}")
+        else:
             raise StorageError(
-                f"value {dist_value!r} outside range bounds of {table}")
-        raise StorageError(
-            f"table {table} is replicated; reads may use any shard")
+                f"table {table} is replicated; reads may use any shard")
+        self._value_cache[cache_key] = shard
+        return shard
 
     def shard_for_row(self, table: str, row: typing.Mapping[str, typing.Any]) -> int:
         schema = self.schema(table)
@@ -90,14 +112,19 @@ class ShardMap:
     def shard_for_key(self, table: str, key: tuple) -> int | None:
         """Shard for a primary-key lookup, or None when the key does not
         determine the shard (distribution column outside the PK)."""
-        schema = self.schema(table)
-        if schema.distribution.method == "replicated":
+        try:
+            index = self._key_plan[table]
+        except KeyError:
+            schema = self.schema(table)
+            index = None
+            if schema.distribution.method != "replicated":
+                column = schema.distribution.column
+                if column in schema.primary_key:
+                    index = schema.primary_key.index(column)
+            self._key_plan[table] = index
+        if index is None:
             return None
-        column = schema.distribution.column
-        if column in schema.primary_key:
-            index = schema.primary_key.index(column)
-            return self.shard_for_value(table, key[index])
-        return None
+        return self.shard_for_value(table, key[index])
 
     def write_shards(self, table: str, row: typing.Mapping[str, typing.Any]
                      ) -> list[int]:

@@ -55,6 +55,11 @@ def enable_observability(env, metrics: bool = True, trace: bool = True,
         env.metrics = MetricsRegistry(env)
     if trace:
         env.tracer = Tracer(env, max_spans=max_spans)
+    # Keep the kernel's single-load instrumentation guards in sync
+    # (see Environment.__init__): hot paths read these instead of
+    # ``env.metrics.enabled`` / ``env.tracer.enabled``.
+    env.metrics_on = env.metrics.enabled
+    env.trace_on = env.tracer.enabled
     return env.metrics, env.tracer
 
 

@@ -61,19 +61,18 @@ class Replayer:
                 delay = self.replay_delay_ns(len(records))
                 if delay:
                     yield self.env.timeout(delay)
-                for record in records:
-                    self.store.apply(record)
+                self.store.apply_batch(records)
                 self.batches_replayed += 1
-                metrics = self.env.metrics
-                if metrics.enabled:
+                if self.env.metrics_on:
+                    metrics = self.env.metrics
                     node = self.store.name
                     metrics.counter("replay.batches", node=node).inc()
                     metrics.counter("replay.records",
                                     node=node).inc(len(records))
                     metrics.set_gauge("replay.backlog", len(self._queue),
                                       node=node)
-                tracer = self.env.tracer
-                if tracer.enabled:
+                if self.env.trace_on:
+                    tracer = self.env.tracer
                     tracer.complete("repl.replay", "batch", started,
                                     self.env.now,
                                     track=f"replay:{self.store.name}",

@@ -76,6 +76,26 @@ class ReplicaStore:
             self.applied_lsn = record.lsn
         self.records_applied += 1
 
+    def apply_batch(self, records: list[RedoRecord]) -> None:
+        """Apply a batch of redo records in order.
+
+        Equivalent to ``for r in records: self.apply(r)`` with the dispatch
+        table and bookkeeping hoisted out of the loop — the replayer's hot
+        path applies thousands of records per simulated batch."""
+        dispatch = self._APPLY
+        applied_lsn = self.applied_lsn
+        count = 0
+        for record in records:
+            lsn = record.lsn
+            if lsn and lsn <= applied_lsn:
+                continue
+            dispatch[type(record)](self, record)
+            if lsn:
+                applied_lsn = lsn
+            count += 1
+        self.applied_lsn = applied_lsn
+        self.records_applied += count
+
     def _apply_insert(self, record: RedoInsert) -> None:
         self.clog.ensure(record.txid)
         heap = self.table(record.table)

@@ -14,7 +14,7 @@ Three pieces:
 """
 
 from repro.ror.rcp import RcpCollector, RcpState, compute_rcp
-from repro.ror.skyline import NodeMetrics, choose_node, skyline
+from repro.ror.skyline import NodeMetrics, choose_node, near_pool, skyline
 from repro.ror.staleness import StalenessEstimator
 
 __all__ = [
@@ -24,5 +24,6 @@ __all__ = [
     "NodeMetrics",
     "skyline",
     "choose_node",
+    "near_pool",
     "StalenessEstimator",
 ]

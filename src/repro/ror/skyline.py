@@ -15,7 +15,7 @@ import typing
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeMetrics:
     """One candidate node's tracked costs."""
 
@@ -64,6 +64,26 @@ def choose_node(candidates: typing.Iterable[NodeMetrics],
     single cheapest node — the dynamic load balancing of §IV-B. Returns
     None if no node qualifies; the caller then falls back to the primary.
     """
+    near = near_pool(candidates, staleness_bound_ns, min_commit_ts,
+                     latency_slack_ns)
+    if not near:
+        return None
+    if rng is None or len(near) == 1:
+        return min(near, key=lambda metrics: metrics.latency_ns)
+    return rng.choice(near)
+
+
+def near_pool(candidates: typing.Iterable[NodeMetrics],
+              staleness_bound_ns: int | None = None,
+              min_commit_ts: int | None = None,
+              latency_slack_ns: int = 200_000) -> list[NodeMetrics]:
+    """The equivalence class :func:`choose_node` draws from: qualifying
+    nodes within ``latency_slack_ns`` of the skyline's fastest qualifier
+    (a dominated-but-near node is still a useful target — domination says
+    "never strictly better", not "useless"). Split out so routers can
+    cache the pool between metric refreshes; its order is a pure function
+    of the candidate order, which keeps a cached pool's ``rng.choice``
+    draws identical to recomputing."""
     qualifying = []
     for metrics in candidates:
         if not metrics.up:
@@ -75,15 +95,8 @@ def choose_node(candidates: typing.Iterable[NodeMetrics],
             continue
         qualifying.append(metrics)
     if not qualifying:
-        return None
-    # The skyline's fastest qualifier anchors the choice; qualifying nodes
-    # within the slack of it share the traffic (a dominated-but-near node
-    # is still a useful target — domination says "never strictly better",
-    # not "useless").
+        return []
     frontier = skyline(qualifying)
     fastest = frontier[0].latency_ns
-    near = [metrics for metrics in qualifying
+    return [metrics for metrics in qualifying
             if metrics.latency_ns <= fastest + latency_slack_ns]
-    if rng is None or len(near) == 1:
-        return min(near, key=lambda metrics: metrics.latency_ns)
-    return rng.choice(near)

@@ -9,18 +9,58 @@ generator (or its exception thrown).
 The kernel is deterministic: ties at equal timestamps are broken by a
 monotonically increasing sequence number, so two runs with the same seeds
 produce identical histories.
+
+Hot-path design (the perf harness in ``repro.bench.perf`` measures this):
+
+- ``now`` is a plain attribute, not a property — it is read on nearly every
+  instruction of simulation code. Only the kernel writes it.
+- ``_seq`` is a plain int; every queue push increments it exactly once, so
+  the inlined pushes in ``repro.sim.events`` and :class:`_Call` entries keep
+  the same total order the un-inlined kernel produced.
+- :meth:`Environment.defer` schedules a bare ``fn(arg)`` call without
+  allocating an :class:`Event`, a callbacks list, or a closure — the
+  network's delivery path uses it for every message.
+- ``metrics_on`` / ``trace_on`` cache the observability toggles as single
+  attribute loads for per-event instrumentation guards
+  (:func:`repro.obs.enable_observability` keeps them in sync).
 """
 
 from __future__ import annotations
 
 import heapq
 import typing
-from itertools import count
 
 from repro.errors import SimulationError
 from repro.obs.metrics import NULL_REGISTRY
 from repro.obs.trace import NULL_TRACER
 from repro.sim.events import Event, Interrupt, Timeout, PRIORITY_NORMAL, PRIORITY_URGENT
+
+
+class _Call:
+    """A queue entry that invokes ``fn(arg)`` when it fires — the
+    allocation-free alternative to a triggered :class:`Event` with one
+    callback. Only the kernel touches these; they are invisible to
+    processes (nothing can wait on one)."""
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn, arg):
+        self.fn = fn
+        self.arg = arg
+
+
+class _StartSignal:
+    """Shared do-nothing "event" delivered to a process's first resume.
+
+    ``Process._resume`` only reads ``_ok``/``_value`` on the success path,
+    so one immutable instance serves every process kickoff."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_START = _StartSignal()
 
 
 class Process(Event):
@@ -31,6 +71,8 @@ class Process(Event):
     can therefore ``yield proc`` to join on it.
     """
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(self, env: "Environment", generator: typing.Generator,
                  name: str | None = None):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -40,12 +82,12 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
         # Kick off the generator at the current time, urgently so a process
-        # spawned "now" starts before pending normal-priority events.
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)
-        env.schedule(init, priority=PRIORITY_URGENT)
+        # spawned "now" starts before pending normal-priority events. The
+        # shared start signal replaces a per-process init Event; it consumes
+        # one sequence number exactly like the Event used to.
+        env._seq = seq = env._seq + 1
+        heapq.heappush(env._queue,
+                       (env.now, PRIORITY_URGENT, seq, _Call(self._resume, _START)))
 
     @property
     def is_alive(self) -> bool:
@@ -75,40 +117,43 @@ class Process(Event):
         carrier.callbacks.append(self._resume)
         self.env.schedule(carrier, priority=PRIORITY_URGENT)
 
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    yielded = self._generator.send(event._value)
+                    yielded = generator.send(event._value)
                 else:
                     event.defused = True
-                    yielded = self._generator.throw(event._exception)
+                    yielded = generator.throw(event._exception)
             except StopIteration as stop:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self._ok = False
                 self._exception = exc
-                self.env.schedule(self, priority=PRIORITY_URGENT)
+                env.schedule(self, priority=PRIORITY_URGENT)
                 return
 
             if not isinstance(yielded, Event):
-                self.env._active_process = None
+                env._active_process = None
                 raise SimulationError(
                     f"process {self.name!r} yielded a non-event: {yielded!r}")
-            if yielded.processed:
+            callbacks = yielded.callbacks
+            if callbacks is None:
                 # Already fired and delivered: consume its value immediately.
                 event = yielded
                 continue
-            yielded.add_callback(self._resume)
+            callbacks.append(self._resume)
             self._target = yielded
-            self.env._active_process = None
+            env._active_process = None
             return
 
 
@@ -121,9 +166,11 @@ class Environment:
     """
 
     def __init__(self, initial_time: int = 0):
-        self._now = initial_time
-        self._queue: list[tuple[int, int, int, Event]] = []
-        self._seq = count()
+        #: Current simulated true time in nanoseconds. Read-only for
+        #: everyone but the kernel.
+        self.now = initial_time
+        self._queue: list[tuple[int, int, int, typing.Any]] = []
+        self._seq = 0
         self._active_process: Process | None = None
         # Observability handles (see repro.obs). The defaults are shared
         # no-op singletons, so instrumentation costs one attribute check
@@ -132,11 +179,15 @@ class Environment:
         # contract tests/test_determinism.py enforces.
         self.metrics = NULL_REGISTRY
         self.tracer = NULL_TRACER
+        #: Cached ``metrics.enabled`` / ``tracer.enabled`` — single-load
+        #: guards for per-event instrumentation.
+        self.metrics_on = False
+        self.trace_on = False
 
     @property
-    def now(self) -> int:
-        """Current simulated true time in nanoseconds."""
-        return self._now
+    def events_scheduled(self) -> int:
+        """Total queue pushes so far (the perf harness's events metric)."""
+        return self._seq
 
     @property
     def active_process(self) -> Process | None:
@@ -166,7 +217,17 @@ class Environment:
         """Put a triggered event on the queue ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self.now + delay, priority, seq, event))
+
+    def defer(self, delay: int, fn, arg) -> _Call:
+        """Schedule ``fn(arg)`` to run ``delay`` ns from now at normal
+        priority, without allocating an Event. Consumes one sequence
+        number, exactly like scheduling an event would."""
+        call = _Call(fn, arg)
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self.now + delay, PRIORITY_NORMAL, seq, call))
+        return call
 
     def peek(self) -> int | None:
         """Time of the next scheduled event, or None if the queue is empty."""
@@ -174,13 +235,16 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("cannot step an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        when, _priority, _seq, event = heapq.heappop(queue)
+        self.now = when
+        if event.__class__ is _Call:
+            event.fn(event.arg)
+            return
         callbacks = event.callbacks
         event.callbacks = None
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
         if event._ok is False and not event.defused:
@@ -196,34 +260,37 @@ class Environment:
           then return its value (raising its exception if it failed).
         - ``until`` is None: run until the event queue drains.
         """
+        step = self.step
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
+            while stop.callbacks is not None:
                 if not self._queue:
                     raise SimulationError(
                         "event queue drained before the awaited event fired")
-                self.step()
+                step()
             if stop._ok:
                 return stop._value
             stop.defused = True
             raise stop._exception  # type: ignore[misc]
 
         if until is not None:
-            if until < self._now:
+            if until < self.now:
                 raise SimulationError(
-                    f"cannot run backwards: now={self._now}, until={until}")
-            while self._queue and self._queue[0][0] <= until:
-                self.step()
-            self._now = until
+                    f"cannot run backwards: now={self.now}, until={until}")
+            queue = self._queue
+            while queue and queue[0][0] <= until:
+                step()
+            self.now = until
             return None
 
-        while self._queue:
-            self.step()
+        queue = self._queue
+        while queue:
+            step()
         return None
 
     def run_for(self, duration: int) -> None:
         """Run for ``duration`` nanoseconds of simulated time."""
-        self.run(until=self._now + duration)
+        self.run(until=self.now + duration)
 
     def any_of(self, events: list[Event]) -> Event:
         """Composite event that fires when any child fires."""

@@ -4,11 +4,19 @@ An :class:`Event` is a one-shot occurrence that processes can wait on by
 ``yield``-ing it. Events carry either a success value or a failure exception.
 Composite events (:class:`AnyOf`, :class:`AllOf`) fire when any/all of their
 children have fired.
+
+Hot-path notes: every class here is ``__slots__``-ed and the trigger paths
+(:meth:`Event.succeed`, :meth:`Event.fail`, :class:`Timeout`) push onto the
+environment's queue directly instead of going through
+:meth:`~repro.sim.core.Environment.schedule`. Each push consumes exactly one
+sequence number, same as the generic path, so event ordering — and therefore
+every simulated history — is identical to the un-inlined kernel.
 """
 
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 
 from repro.errors import SimulationError
 
@@ -28,6 +36,8 @@ class Event:
     ``yield`` pending or triggered events; yielding a processed event is an
     error because its callbacks have already fired.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_ok", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -69,7 +79,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env.now, PRIORITY_NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -80,7 +92,9 @@ class Event:
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
         self._ok = False
         self._exception = exception
-        self.env.schedule(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env.now, PRIORITY_NORMAL, seq, self))
         return self
 
     def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
@@ -97,14 +111,20 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` nanoseconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: int, value: typing.Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._exception = None
+        self._ok = True
+        self.defused = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env.now + delay, PRIORITY_NORMAL, seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}ns>"
@@ -121,6 +141,8 @@ class Interrupt(Exception):
 
 class ConditionValue:
     """Ordered mapping of child events to values for fired conditions."""
+
+    __slots__ = ("events",)
 
     def __init__(self, events: list[Event]):
         self.events = events
@@ -147,6 +169,8 @@ class Condition(Event):
     the time the condition was satisfied. If any child fails before the
     condition is satisfied, the condition fails with that child's exception.
     """
+
+    __slots__ = ("events", "_evaluate", "_count")
 
     def __init__(self, env: "Environment", events: list[Event],
                  evaluate: typing.Callable[[int, int], bool]):
@@ -215,12 +239,16 @@ def settle(env: "Environment", events: list[Event]) -> Event:
 class AnyOf(Condition):
     """Fires as soon as one child event fires."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: list[Event]):
         super().__init__(env, events, lambda total, done: done > 0)
 
 
 class AllOf(Condition):
     """Fires once every child event has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: list[Event]):
         super().__init__(env, events, lambda total, done: done == total)

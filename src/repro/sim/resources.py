@@ -18,6 +18,8 @@ from repro.sim.events import Event
 class Semaphore:
     """A counting semaphore with FIFO fairness."""
 
+    __slots__ = ("env", "capacity", "in_use", "_waiters", "peak_queue")
+
     def __init__(self, env: Environment, capacity: int):
         if capacity < 1:
             raise SimulationError(f"semaphore capacity must be >= 1, got {capacity}")

@@ -24,17 +24,25 @@ class TxnStatus(enum.Enum):
     ABORTED = "aborted"
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnRecord:
     status: TxnStatus
     commit_ts: int | None = None
 
 
 class CommitLog:
-    """Maps transaction id -> outcome."""
+    """Maps transaction id -> outcome.
+
+    ``_commit_ts`` mirrors the committed subset as a flat ``txid ->
+    commit_ts`` table so the visibility hot path
+    (:meth:`is_committed_before`, called per version per read) is a single
+    dict probe instead of a record lookup + status comparison. A commit is
+    final — abort-after-commit raises — so entries never need updating,
+    only insertion (commit) and removal (vacuum pruning / rebuild)."""
 
     def __init__(self):
         self._records: dict[int, TxnRecord] = {}
+        self._commit_ts: dict[int, int] = {}
 
     def begin(self, txid: int) -> None:
         if txid in self._records:
@@ -71,6 +79,7 @@ class CommitLog:
                 f"transaction {txid} already finished ({record.status.value})")
         record.status = TxnStatus.COMMITTED
         record.commit_ts = commit_ts
+        self._commit_ts[txid] = commit_ts
 
     def abort(self, txid: int) -> None:
         record = self._records.get(txid)
@@ -83,15 +92,18 @@ class CommitLog:
 
     def commit_ts(self, txid: int) -> int | None:
         """The commit timestamp, or None if not committed."""
-        record = self._records.get(txid)
-        if record is None or record.status is not TxnStatus.COMMITTED:
-            return None
-        return record.commit_ts
+        return self._commit_ts.get(txid)
 
     def is_committed_before(self, txid: int, read_ts: int) -> bool:
         """True if ``txid`` committed with a timestamp <= ``read_ts``."""
-        record = self._records.get(txid)
-        return (record is not None
-                and record.status is TxnStatus.COMMITTED
-                and record.commit_ts is not None
-                and record.commit_ts <= read_ts)
+        ts = self._commit_ts.get(txid)
+        return ts is not None and ts <= read_ts
+
+    def rebuild_cache(self) -> None:
+        """Recompute the commit-ts table after ``_records`` was replaced
+        wholesale (replica rebuild from a primary's clog snapshot)."""
+        self._commit_ts = {
+            txid: record.commit_ts for txid, record in self._records.items()
+            if record.status is TxnStatus.COMMITTED
+            and record.commit_ts is not None
+        }

@@ -18,7 +18,7 @@ from repro.storage.clog import CommitLog
 from repro.storage.snapshot import Snapshot
 
 
-@dataclass
+@dataclass(slots=True)
 class RowVersion:
     """One version of a row."""
 
@@ -49,6 +49,43 @@ def version_visible(version: RowVersion, snapshot: Snapshot, clog: CommitLog) ->
     """The MVCC visibility rule."""
     return (_created_visible(version, snapshot, clog)
             and not _ended_visible(version, snapshot, clog))
+
+
+def _first_visible(versions, read_ts: int, own, committed: dict,
+                   memo: dict) -> RowVersion | None:
+    """First visible version in a newest-first chain, with memoized
+    commit-before-``read_ts`` decisions.
+
+    This is :func:`version_visible` unrolled against the commit log's
+    ``txid -> commit_ts`` table, caching each transaction's verdict in
+    ``memo``. The memo is only sound while the commit log cannot change —
+    i.e. within a single simulation event. Every caller (scans, index
+    lookups) materializes its result eagerly inside one data-node handler
+    invocation, which is what makes per-snapshot caching safe here: a
+    transaction committing *between* events would otherwise flip a cached
+    False.
+    """
+    for version in versions:
+        xmin = version.xmin
+        if xmin != own:
+            visible = memo.get(xmin)
+            if visible is None:
+                ts = committed.get(xmin)
+                memo[xmin] = visible = ts is not None and ts <= read_ts
+            if not visible:
+                continue
+        xmax = version.xmax
+        if xmax is not None:
+            if xmax == own:
+                continue
+            ended = memo.get(xmax)
+            if ended is None:
+                ts = committed.get(xmax)
+                memo[xmax] = ended = ts is not None and ts <= read_ts
+            if ended:
+                continue
+        return version
+    return None
 
 
 class HeapTable:
@@ -115,28 +152,40 @@ class HeapTable:
     # ------------------------------------------------------------------
     def read(self, key: tuple, snapshot: Snapshot, clog: CommitLog) -> dict | None:
         """The visible row for ``key``, or None."""
-        for version in self._rows.get(key, ()):
-            if version_visible(version, snapshot, clog):
-                return version.data
-        return None
+        versions = self._rows.get(key)
+        if versions is None:
+            return None
+        version = _first_visible(versions, snapshot.read_ts, snapshot.txid,
+                                 clog._commit_ts, {})
+        return None if version is None else version.data
 
     def visible_version(self, key: tuple, snapshot: Snapshot,
                         clog: CommitLog) -> RowVersion | None:
-        for version in self._rows.get(key, ()):
-            if version_visible(version, snapshot, clog):
-                return version
-        return None
+        versions = self._rows.get(key)
+        if versions is None:
+            return None
+        return _first_visible(versions, snapshot.read_ts, snapshot.txid,
+                              clog._commit_ts, {})
 
     def scan(self, snapshot: Snapshot, clog: CommitLog,
              predicate: typing.Callable[[dict], bool] | None = None
              ) -> typing.Iterator[dict]:
-        """Yield every visible row (optionally filtered)."""
+        """Yield every visible row (optionally filtered).
+
+        Visibility verdicts are cached per transaction id for the duration
+        of the scan (see :func:`_first_visible`), so a TPC-C stock scan
+        decides each bulk-load/committing transaction once instead of once
+        per version. Callers must consume the iterator within the event
+        that created it — data-node handlers materialize it eagerly."""
+        read_ts = snapshot.read_ts
+        own = snapshot.txid
+        committed = clog._commit_ts
+        memo: dict[int, bool] = {}
         for versions in self._rows.values():
-            for version in versions:
-                if version_visible(version, snapshot, clog):
-                    if predicate is None or predicate(version.data):
-                        yield version.data
-                    break  # at most one visible version per key
+            version = _first_visible(versions, read_ts, own, committed, memo)
+            if version is not None:
+                if predicate is None or predicate(version.data):
+                    yield version.data
 
     def lookup_index(self, column: str, value: typing.Any, snapshot: Snapshot,
                      clog: CommitLog) -> list[dict]:
@@ -145,13 +194,18 @@ class HeapTable:
         if index is None:
             raise StorageError(f"no index on {self.name}.{column}")
         rows = []
+        read_ts = snapshot.read_ts
+        own = snapshot.txid
+        committed = clog._commit_ts
+        memo: dict[int, bool] = {}
         # Sorted, not set order: bucket iteration order decides result-row
         # order (e.g. TPC-C pay-by-lastname picks the middle row), and set
         # order follows PYTHONHASHSEED — same bug class as locks.py PR 1.
         for key in sorted(index.get(value, ()), key=repr):
-            row = self.read(key, snapshot, clog)
-            if row is not None and row.get(column) == value:
-                rows.append(row)
+            version = _first_visible(self._rows.get(key, ()), read_ts, own,
+                                     committed, memo)
+            if version is not None and version.data.get(column) == value:
+                rows.append(version.data)
         return rows
 
     def keys(self) -> typing.Iterator[tuple]:

@@ -47,7 +47,7 @@ def _row_bytes(row: typing.Mapping[str, typing.Any] | None) -> int:
     return total
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoRecord:
     """Base redo record. ``lsn`` is assigned when appended to the WAL."""
 
@@ -58,7 +58,7 @@ class RedoRecord:
         return RECORD_HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoInsert(RedoRecord):
     table: str = ""
     key: tuple = ()
@@ -68,7 +68,7 @@ class RedoInsert(RedoRecord):
         return RECORD_HEADER_BYTES + _row_bytes(self.row)
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoUpdate(RedoRecord):
     table: str = ""
     key: tuple = ()
@@ -78,7 +78,7 @@ class RedoUpdate(RedoRecord):
         return RECORD_HEADER_BYTES + _row_bytes(self.row)
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoDelete(RedoRecord):
     table: str = ""
     key: tuple = ()
@@ -87,37 +87,37 @@ class RedoDelete(RedoRecord):
         return RECORD_HEADER_BYTES + 16
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoPendingCommit(RedoRecord):
     """Written before the transaction obtains its commit timestamp."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoCommit(RedoRecord):
     commit_ts: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoAbort(RedoRecord):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoPrepare(RedoRecord):
     """2PC phase one: the transaction is prepared on this shard."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoCommitPrepared(RedoRecord):
     commit_ts: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoAbortPrepared(RedoRecord):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoDdl(RedoRecord):
     """A catalog change. ``action`` is one of 'create_table', 'drop_table',
     'create_index', 'drop_index'; ``payload`` carries the schema object or
@@ -132,7 +132,7 @@ class RedoDdl(RedoRecord):
         return RECORD_HEADER_BYTES + 128
 
 
-@dataclass
+@dataclass(slots=True)
 class RedoHeartbeat(RedoRecord):
     """Advances the replica's max applied commit timestamp during idle."""
 

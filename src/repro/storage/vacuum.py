@@ -103,6 +103,7 @@ def prune_clog(clog: CommitLog, horizon: int) -> int:
             doomed.append(txid)
     for txid in doomed:
         del clog._records[txid]
+        clog._commit_ts.pop(txid, None)
     return len(doomed)
 
 

@@ -57,7 +57,7 @@ class GTMServer:
         if handler is None:
             request.fail(ModeTransitionError(f"GTM: unknown request {kind!r}"))
             return
-        if self.env.metrics.enabled:
+        if self.env.metrics_on:
             self.env.metrics.counter("gtm.requests", kind=kind).inc()
         tracer = self.env.tracer
         # Model a small fixed service time per request.
