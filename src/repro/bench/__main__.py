@@ -91,6 +91,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=["quick", "full"], default=None,
                         help="client scale; overrides REPRO_BENCH_SCALE "
                              "(default: the environment variable, else quick)")
+    parser.add_argument("--stamp", default=None,
+                        help="label for the BENCH_HISTORY.jsonl record "
+                             "(perf only; default: host UTC time)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -106,7 +109,13 @@ def main(argv: list[str] | None = None) -> int:
         # baseline-comparison scenario). --scale full maps to standard.
         perf_scale = (args.scale if args.scale is not None
                       else _resolve_scale(None).name)
-        report = _profiled(lambda: run_perf(perf_scale), "perf")
+        stamp = args.stamp
+        if stamp is None:
+            # Host-side wall time labelling the history record only —
+            # never feeds simulated state.
+            now_utc = time.gmtime()  # simlint: ignore[SIM101]
+            stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", now_utc)
+        report = _profiled(lambda: run_perf(perf_scale, stamp=stamp), "perf")
         print(render_perf(report))
         return 0
 

@@ -242,8 +242,17 @@ def check_determinism() -> dict:
 
 
 def run_perf(scale_name: str = "standard",
-             out_path: str = "BENCH_PERF.json") -> dict:
-    """The ``python -m repro.bench perf`` entry point."""
+             out_path: str = "BENCH_PERF.json",
+             history_path: str | None = "BENCH_HISTORY.jsonl",
+             stamp: str | None = None) -> dict:
+    """The ``python -m repro.bench perf`` entry point.
+
+    Besides overwriting ``out_path`` with the full report, appends a
+    one-line summary record to ``history_path`` (None disables) so the
+    perf *trajectory* accumulates in-repo across runs. ``stamp`` is a
+    caller-supplied timestamp/label — the harness never reads wall clocks
+    itself beyond the perf measurement.
+    """
     scale = PerfScale.quick() if scale_name == "quick" else PerfScale.standard()
     determinism = check_determinism()
     current = run_scenario(scale)
@@ -262,6 +271,17 @@ def run_perf(scale_name: str = "standard",
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if history_path:
+        record = {
+            "stamp": stamp,
+            "scale": current["scale"],
+            "events_per_sec": current["events_per_sec"],
+            "committed_txns_per_wall_s": current["committed_txns_per_wall_s"],
+            "peak_rss_kb": current["peak_rss_kb"],
+            "digest_ok": determinism["ok"],
+        }
+        with open(history_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
     return report
 
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.clocks import GlobalTimeDevice
 from repro.errors import SimulationError
-from repro.obs import enable_observability
+from repro.obs import default_monitor_rules, enable_observability
 from repro.replication.quorum import ReplicationPolicy
 from repro.replication.shipper import LogShipper, ShipperConfig
 from repro.sim.core import Environment
@@ -75,6 +75,14 @@ class ClusterConfig:
     metrics_enabled: bool = False
     trace_enabled: bool = False
     trace_max_spans: int | None = 500_000
+    #: Telemetry pipeline (repro.obs.timeseries / monitor): windowed
+    #: time-series sampling plus the default online SLO monitors. Also
+    #: passive; off by default so the perf-harness digest is unchanged.
+    timeseries_enabled: bool = False
+    telemetry_window_ns: int = 50_000_000
+    #: Monitor rules to attach when telemetry is on. None -> the default
+    #: SLO set (default_monitor_rules); pass () to sample without monitors.
+    monitor_rules: tuple | None = None
 
     @classmethod
     def baseline(cls, topology: Topology | None = None, **overrides) -> "ClusterConfig":
@@ -285,12 +293,19 @@ class GlobalDB:
 def build_cluster(config: ClusterConfig) -> GlobalDB:
     """Wire a :class:`ClusterConfig` into a running cluster."""
     env = Environment()
-    if config.metrics_enabled or config.trace_enabled:
+    if config.metrics_enabled or config.trace_enabled or config.timeseries_enabled:
         # Before node construction, so construction-time instruments land
         # in the live registry.
+        rules = config.monitor_rules
+        if rules is None and config.timeseries_enabled:
+            rules = default_monitor_rules(
+                replicas_per_shard=config.replicas_per_shard)
         enable_observability(env, metrics=config.metrics_enabled,
                              trace=config.trace_enabled,
-                             max_spans=config.trace_max_spans)
+                             max_spans=config.trace_max_spans,
+                             timeseries=config.timeseries_enabled,
+                             window_ns=config.telemetry_window_ns,
+                             monitor_rules=rules)
     streams = RandomStreams(config.seed)
     network = Network(env, jitter_stream=streams.stream("net-jitter"))
     regions = list(config.topology.regions)

@@ -30,7 +30,7 @@ from repro.errors import (
     WriteConflict,
 )
 from repro.ror.rcp import RcpCollector, RcpState
-from repro.ror.skyline import NodeMetrics, near_pool
+from repro.ror.skyline import NodeMetrics, near_pool, skyline_summary
 from repro.ror.staleness import StalenessEstimator
 from repro.sim.events import settle
 from repro.sim.network import Message
@@ -159,6 +159,8 @@ class ComputingNode(ClusterNode):
             existing = self.metrics.get(name)
             if existing is not None:
                 existing.up = False
+            if self.env.series_on:
+                self._record_route_series(name)
             return
         status = event.value
         self.staleness.observe_frontier(status["max_commit_ts"])
@@ -178,6 +180,38 @@ class ComputingNode(ClusterNode):
             # Replica lag as this CN estimates it (the skyline's input).
             self.env.metrics.set_gauge("ror.staleness_ns", staleness_ns,
                                        node=name)
+        if self.env.series_on:
+            if status["role"] != "primary":
+                self.env.series.gauge("ror.staleness_ns", staleness_ns,
+                                      node=name)
+            self._record_route_series(name)
+
+    def _record_route_series(self, name: str) -> None:
+        """Telemetry snapshot of this CN's routing view after a status
+        update for ``name`` (only called under ``env.series_on``)."""
+        series = self.env.series
+        node = self.metrics.get(name)
+        if node is not None:
+            series.gauge("cluster.node_up", 1 if node.up else 0, node=name)
+        for shard, replica_names in self.replicas_of_shard.items():
+            if name in replica_names:
+                # Only report once every replica of the shard has checked
+                # in at least once: an unknown replica is not a lost one,
+                # and reporting early would false-alarm the quorum monitor
+                # during the first status round-trips.
+                statuses = [self.metrics.get(replica)
+                            for replica in replica_names]
+                if all(status is not None for status in statuses):
+                    up = sum(1 for status in statuses if status.up)
+                    series.gauge("cluster.shard_replicas_up", up,
+                                 shard=f"s{shard}", cn=self.name)
+                break
+        summary = skyline_summary(self.metrics.values())
+        series.gauge("ror.skyline_size", summary["skyline"], cn=self.name)
+        series.gauge("ror.freshest_staleness_ns",
+                     summary["freshest_staleness_ns"], cn=self.name)
+        series.gauge("ror.stalest_staleness_ns",
+                     summary["stalest_staleness_ns"], cn=self.name)
 
     def _rcp_loop(self):
         while True:
@@ -456,16 +490,21 @@ class ComputingNode(ClusterNode):
                     ("commit_local", ctx.txid, ctx.mode),
                     timeout_ns=self.config.op_timeout_ns)
             except NetworkError as exc:
-                self.txns_aborted += 1
+                self._note_abort()
                 raise TransactionAborted(
                     f"commit lost: {exc} (outcome unknown)")
             if reply[0] == "abort":
-                self.txns_aborted += 1
+                self._note_abort()
                 raise TransactionAborted(reply[1])
             self.txns_committed += 1
             self._trace_commit(ctx, commit_started, reply[1], shards=1)
             return reply[1]
         return (yield from self._commit_2pc(ctx, write_shards, commit_started))
+
+    def _note_abort(self) -> None:
+        self.txns_aborted += 1
+        if self.env.series_on:
+            self.env.series.counter("cn.aborts", 1, cn=self.name)
 
     def _trace_commit(self, ctx: TxnContext, started: int, ts: int,
                       shards: int) -> None:
@@ -479,6 +518,8 @@ class ComputingNode(ClusterNode):
             metrics.counter("cn.commits", node=self.name).inc()
             metrics.histogram("cn.txn_latency_ns", node=self.name).record(
                 now - (ctx.begin_started_at or started))
+        if self.env.series_on:
+            self.env.series.counter("cn.commits", 1, cn=self.name)
 
     def _commit_2pc(self, ctx: TxnContext, write_shards: list[int],
                     commit_started: int):
@@ -491,13 +532,13 @@ class ComputingNode(ClusterNode):
         yield settle(self.env, prepares)
         if not all(request.ok and request.value[0] == "ok" for request in prepares):
             yield from self._abort_prepared_everywhere(ctx, write_shards)
-            self.txns_aborted += 1
+            self._note_abort()
             raise TransactionAborted("2PC prepare failed")
         try:
             ts = yield from self.provider.commit_ts(ctx.mode, txid=ctx.txid)
         except TransactionAborted:
             yield from self._abort_prepared_everywhere(ctx, write_shards)
-            self.txns_aborted += 1
+            self._note_abort()
             raise
         finishes = [
             self.network.request(self.name, self._primary(shard),
@@ -524,7 +565,7 @@ class ComputingNode(ClusterNode):
         if ctx.finished:
             return
         ctx.finished = True
-        self.txns_aborted += 1
+        self._note_abort()
         aborts = [
             self.network.request(self.name, self._primary(shard),
                                  ("abort", ctx.txid),

@@ -76,6 +76,9 @@ class FailoverManager:
                 if probe.ok:
                     self._down_since.pop(shard, None)
                     continue
+                if shard not in self._down_since and self.env.series_on:
+                    self.env.series.mark("failover.phase", shard=f"s{shard}",
+                                         phase="down-detected")
                 first_seen = self._down_since.setdefault(shard, now)
                 if now - first_seen >= self.grace_ns:
                     self._promote(shard)
@@ -127,6 +130,9 @@ class FailoverManager:
             at_ns=self.env.now, shard=shard, old_primary=old_primary.name,
             new_primary=chosen.name, in_doubt_aborted=in_doubt,
             lost_commit_ts_window=max(0, old_frontier - promoted_frontier)))
+        if self.env.series_on:
+            self.env.series.mark("failover.phase", shard=f"s{shard}",
+                                 phase="promoted")
 
     def _drop_shippers_from(self, primary_name: str) -> None:
         for shipper in list(self.shippers):

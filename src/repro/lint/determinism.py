@@ -33,22 +33,30 @@ CHILD_TIMEOUT_S = 600
 
 def smoke_run(duration_s: float = DEFAULT_DURATION_S,
               warmup_s: float = DEFAULT_WARMUP_S,
-              seed: int = 0, workload_seed: int = 42) -> dict:
+              seed: int = 0, workload_seed: int = 42,
+              telemetry: bool = False) -> dict:
     """One small traced One-Region TPC-C run, summarised for comparison.
 
     The digest covers every recorded span (ordering, timing, payloads);
-    the scalar fields make a mismatch report human-readable."""
+    the scalar fields make a mismatch report human-readable.
+
+    ``telemetry=True`` additionally enables the windowed time-series and
+    default SLO monitors and reports the monitor's alert-stream digest —
+    proving the *telemetry pipeline itself* is hash-order independent.
+    (The perf harness's pinned digest uses ``telemetry=False``, the
+    pre-telemetry configuration, so the recording stays comparable.)"""
     from repro import ClusterConfig, build_cluster, one_region
     from repro.workloads import TpccConfig, TpccWorkload, run_workload
 
     db = build_cluster(ClusterConfig.globaldb(
-        one_region(), seed=seed, metrics_enabled=False, trace_enabled=True))
+        one_region(), seed=seed, metrics_enabled=False, trace_enabled=True,
+        timeseries_enabled=telemetry))
     workload = TpccWorkload(TpccConfig(
         warehouses=2, districts_per_warehouse=2, customers_per_district=10,
         items=20, initial_orders_per_district=5, seed=workload_seed))
     result = run_workload(db, workload, terminals=4, duration_s=duration_s,
                           warmup_s=warmup_s)
-    return {
+    summary = {
         "digest": db.env.tracer.digest(),
         "spans": len(db.env.tracer.spans),
         "committed": result.stats.committed,
@@ -56,6 +64,12 @@ def smoke_run(duration_s: float = DEFAULT_DURATION_S,
         "sim_now_ns": db.env.now,
         "hash_seed": os.environ.get("PYTHONHASHSEED", "<unset>"),
     }
+    if telemetry:
+        db.env.series.catch_up()
+        summary["alerts"] = len(db.env.monitor.alerts)
+        summary["alerts_digest"] = db.env.monitor.digest()
+        summary["series"] = len(db.env.series.all_series())
+    return summary
 
 
 @dataclass
@@ -75,10 +89,20 @@ class DeterminismResult:
                 f"committed={run['committed']} aborted={run['aborted']}")
         lines.extend(f"  ERROR: {error}" for error in self.errors)
         digests = {run["digest"] for run in self.runs}
+        alert_digests = {run["alerts_digest"] for run in self.runs
+                         if "alerts_digest" in run}
         if self.ok:
+            suffix = ""
+            if alert_digests:
+                alerts = self.runs[0].get("alerts", 0)
+                suffix = (f"; alert stream stable "
+                          f"({alerts} alert(s), 1 digest)")
             lines.append(f"determinism PASS: {len(self.runs)} runs under "
-                         f"distinct hash seeds, 1 digest")
+                         f"distinct hash seeds, 1 digest{suffix}")
         else:
+            if len(alert_digests) > 1:
+                lines.append(f"  monitor alert streams diverged: "
+                             f"{len(alert_digests)} distinct digests")
             lines.append(f"determinism FAIL: {len(digests)} distinct "
                          f"digest(s) across {len(self.runs)} run(s) — "
                          f"hash-order dependence in a scheduling path")
@@ -103,12 +127,16 @@ def _child_env(hash_seed: int) -> dict[str, str]:
 def run_perturbation(seeds: int = DEFAULT_SEEDS,
                      duration_s: float = DEFAULT_DURATION_S,
                      warmup_s: float = DEFAULT_WARMUP_S,
-                     echo=None) -> DeterminismResult:
+                     echo=None, telemetry: bool = True) -> DeterminismResult:
     """Run the smoke sim under ``seeds`` distinct hash seeds and compare.
 
     Hash seeds are spread out (1, 1001, 2001, ...) rather than 0..N-1
     because ``PYTHONHASHSEED=0`` *disables* randomization — a run that only
     compared seed 0 against itself would prove nothing.
+
+    With ``telemetry`` (the default) the children also run the windowed
+    time-series + default monitors and the sweep additionally requires the
+    monitor alert streams to share one digest.
     """
     runs: list[dict] = []
     errors: list[str] = []
@@ -116,6 +144,8 @@ def run_perturbation(seeds: int = DEFAULT_SEEDS,
         hash_seed = 1 + index * 1000
         command = [sys.executable, "-m", "repro.lint.determinism",
                    "--duration", str(duration_s), "--warmup", str(warmup_s)]
+        if telemetry:
+            command.append("--telemetry")
         try:
             proc = subprocess.run(
                 command, env=_child_env(hash_seed), capture_output=True,
@@ -140,7 +170,10 @@ def run_perturbation(seeds: int = DEFAULT_SEEDS,
             echo(f"  run {index + 1}/{seeds} (PYTHONHASHSEED={hash_seed}): "
                  f"digest {run['digest'][:16]}…")
     digests = {run["digest"] for run in runs}
-    ok = not errors and len(runs) == seeds and len(digests) == 1
+    alert_digests = {run["alerts_digest"] for run in runs
+                     if "alerts_digest" in run}
+    ok = (not errors and len(runs) == seeds and len(digests) == 1
+          and len(alert_digests) <= 1)
     return DeterminismResult(ok=ok, runs=runs, errors=errors)
 
 
@@ -155,9 +188,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--warmup", type=float, default=DEFAULT_WARMUP_S)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workload-seed", type=int, default=42)
+    parser.add_argument("--telemetry", action="store_true",
+                        help="also run time-series + monitors and report "
+                             "the alert-stream digest")
     args = parser.parse_args(argv)
     summary = smoke_run(duration_s=args.duration, warmup_s=args.warmup,
-                        seed=args.seed, workload_seed=args.workload_seed)
+                        seed=args.seed, workload_seed=args.workload_seed,
+                        telemetry=args.telemetry)
     print(json.dumps(summary, sort_keys=True))
     return 0
 

@@ -44,23 +44,65 @@ from repro.obs.trace import (
     trace_digest,
     write_jsonl,
 )
+from repro.obs.timeseries import (
+    DEFAULT_WINDOW_NS,
+    NULL_TIMESERIES,
+    NullTimeSeries,
+    TimeSeriesStore,
+)
+from repro.obs.monitor import (
+    NULL_MONITOR,
+    Alert,
+    MonitorEngine,
+    NullMonitor,
+    Rule,
+    alerts_digest,
+    default_monitor_rules,
+)
+from repro.obs.critpath import CriticalPathReport, TxnPath, analyze
+from repro.obs.dashboard import Dashboard
 from repro.obs.report import RunReport
 
 
 def enable_observability(env, metrics: bool = True, trace: bool = True,
-                         max_spans: int | None = 500_000):
-    """Attach live metrics/tracing to an environment (before building the
-    cluster, so construction-time instruments register too)."""
+                         max_spans: int | None = 500_000,
+                         timeseries: bool = False,
+                         window_ns: int = DEFAULT_WINDOW_NS,
+                         capacity: int = 256,
+                         monitor_rules=None):
+    """Attach live metrics/tracing/telemetry to an environment (before
+    building the cluster, so construction-time instruments register too).
+
+    ``timeseries=True`` turns on the windowed sampler; ``monitor_rules``
+    (a sequence of :class:`Rule`, e.g. :func:`default_monitor_rules`)
+    additionally attaches an online monitor engine to its window seals.
+    """
     if metrics:
         env.metrics = MetricsRegistry(env)
     if trace:
         env.tracer = Tracer(env, max_spans=max_spans)
+    if timeseries:
+        env.series = TimeSeriesStore(env, window_ns=window_ns,
+                                     capacity=capacity)
+        if monitor_rules:
+            env.monitor = MonitorEngine(env, env.series, monitor_rules)
     # Keep the kernel's single-load instrumentation guards in sync
     # (see Environment.__init__): hot paths read these instead of
     # ``env.metrics.enabled`` / ``env.tracer.enabled``.
     env.metrics_on = env.metrics.enabled
     env.trace_on = env.tracer.enabled
+    env.series_on = env.series.enabled
     return env.metrics, env.tracer
+
+
+def telemetry_snapshot(env) -> dict:
+    """The JSON document ``repro.obs dash`` consumes: the time-series dump
+    plus the monitor's alert stream. Call after ``env.series.catch_up()``
+    so trailing windows are sealed and evaluated."""
+    return {
+        "timeseries": env.series.snapshot(),
+        "monitor": env.monitor.snapshot(),
+    }
 
 
 __all__ = [
@@ -82,4 +124,20 @@ __all__ = [
     "trace_digest",
     "write_jsonl",
     "enable_observability",
+    "telemetry_snapshot",
+    "TimeSeriesStore",
+    "NullTimeSeries",
+    "NULL_TIMESERIES",
+    "DEFAULT_WINDOW_NS",
+    "Rule",
+    "Alert",
+    "MonitorEngine",
+    "NullMonitor",
+    "NULL_MONITOR",
+    "alerts_digest",
+    "default_monitor_rules",
+    "CriticalPathReport",
+    "TxnPath",
+    "analyze",
+    "Dashboard",
 ]

@@ -9,6 +9,11 @@ Commands:
   least six span categories, the Chrome export is valid JSON, and the
   median transaction's component sum lands within 5% of the measured
   end-to-end p50.
+- ``dash <trace.jsonl>`` — render the run dashboard (alerts, time-series
+  sparklines, commit critical path) as text and optionally a
+  self-contained HTML file. Telemetry is read from a sibling
+  ``telemetry.json`` (written by ``run --telemetry``) or ``--telemetry``;
+  ``--fail-on-error-alerts`` turns it into a CI gate.
 - ``summarize <trace.jsonl>`` — per-category span counts/durations of a
   previously written trace.
 - ``convert <in.jsonl> <out.json>`` — turn a JSONL span log into a Chrome
@@ -44,7 +49,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.workloads import TpccConfig, TpccWorkload, run_workload
 
     config = ClusterConfig.globaldb(three_city(), metrics_enabled=True,
-                                    trace_enabled=True)
+                                    trace_enabled=True,
+                                    timeseries_enabled=args.telemetry)
     db = build_cluster(config)
     workload = TpccWorkload(TpccConfig(warehouses=args.warehouses))
     result = run_workload(db, workload, terminals=args.terminals,
@@ -63,8 +69,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"\nwrote {jsonl_path} ({len(db.env.tracer.spans)} spans) "
           f"and {chrome_path}")
 
+    if args.telemetry:
+        from repro.obs import telemetry_snapshot
+        db.env.series.catch_up()  # seal + evaluate trailing windows
+        snapshot = telemetry_snapshot(db.env)
+        telemetry_path = out_dir / "telemetry.json"
+        with open(telemetry_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle)
+        alerts = snapshot["monitor"]["alerts"]
+        print(f"wrote {telemetry_path} "
+              f"({len(snapshot['timeseries']['series'])} series, "
+              f"{len(alerts)} alerts)")
+        for alert in alerts:
+            print(f"  alert [{alert['severity']}] {alert['rule']}: "
+                  f"{alert['series']} = {alert['value']:g} "
+                  f"in window {alert['window']}")
+
     if args.check:
         return _check(report, chrome_path)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# dash
+# ----------------------------------------------------------------------
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import Dashboard
+
+    spans = read_jsonl(args.trace)
+    telemetry_path = Path(args.telemetry) if args.telemetry else \
+        Path(args.trace).parent / "telemetry.json"
+    telemetry = None
+    if telemetry_path.exists():
+        with open(telemetry_path, encoding="utf-8") as handle:
+            telemetry = json.load(handle)
+    else:
+        print(f"note: no telemetry at {telemetry_path} "
+              f"(run with --telemetry to capture time-series + alerts)")
+
+    dashboard = Dashboard(telemetry=telemetry, spans=spans,
+                          title=f"repro dashboard — {args.trace}")
+    print(dashboard.render_text())
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(dashboard.render_html())
+        print(f"wrote {args.html}")
+    if args.fail_on_error_alerts:
+        errors = dashboard.error_alerts()
+        if errors:
+            for alert in errors:
+                print(f"dash FAIL: error alert {alert['rule']} on "
+                      f"{alert['series']} in window {alert['window']}",
+                      file=sys.stderr)
+            return 1
+        print("dash PASS: no severity=error alerts")
     return 0
 
 
@@ -158,7 +216,22 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--check", action="store_true",
                      help="exit non-zero unless the trace passes the "
                           "acceptance criteria (for CI)")
+    run.add_argument("--telemetry", action="store_true",
+                     help="also capture windowed time-series + default SLO "
+                          "monitors; writes telemetry.json next to the trace")
     run.set_defaults(func=_cmd_run)
+
+    dash = sub.add_parser("dash", help="render the run dashboard "
+                                       "(alerts, sparklines, critical path)")
+    dash.add_argument("trace", help="trace.jsonl from a run")
+    dash.add_argument("--telemetry", default=None,
+                      help="telemetry.json path (default: sibling of trace)")
+    dash.add_argument("--html", default=None,
+                      help="also write a self-contained HTML dashboard here")
+    dash.add_argument("--fail-on-error-alerts", action="store_true",
+                      help="exit non-zero if any severity=error alert fired "
+                           "(for CI)")
+    dash.set_defaults(func=_cmd_dash)
 
     summarize = sub.add_parser("summarize",
                                help="per-category summary of a trace.jsonl")

@@ -1,0 +1,224 @@
+"""Self-contained run dashboard: time-series + alerts + critical path.
+
+Renders a telemetry snapshot (``TimeSeriesStore.snapshot()`` +
+``MonitorEngine.snapshot()``) and a trace (span dicts) into either a
+plain-text report or a single HTML file with inline CSS and inline SVG
+sparklines — no external assets, no JS frameworks, openable from a CI
+artifact. ``python -m repro.obs dash <trace>`` is the entry point.
+
+Pure formatting over already-captured data: nothing here touches the
+simulation.
+"""
+
+from __future__ import annotations
+
+import html
+import typing
+
+from repro.obs.critpath import SEGMENTS, CriticalPathReport
+
+_MS = 1e6
+
+_SEVERITY_ORDER = {"error": 0, "warning": 1, "info": 2}
+
+_CSS = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2em;
+       background: #fafafa; color: #1a1a1a; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 2em;
+     border-bottom: 1px solid #ccc; padding-bottom: 0.2em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.7em; text-align: right; }
+th { background: #eee; } td.l, th.l { text-align: left; }
+.sev-error { color: #b00020; font-weight: bold; }
+.sev-warning { color: #a05a00; }
+.sev-info { color: #555; }
+.spark { margin: 0.4em 0; }
+.spark .name { display: inline-block; width: 26em; vertical-align: middle; }
+.muted { color: #777; font-size: 0.9em; }
+svg { vertical-align: middle; background: #fff; border: 1px solid #ddd; }
+"""
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _sparkline(windows: list, window_ns: int, width: int = 360,
+               height: int = 44) -> str:
+    """Inline SVG polyline over a series' ``[index, last, min, max, count]``
+    rows (sorted by index)."""
+    values = [row[1] for row in windows]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1
+    first, last = windows[0][0], windows[-1][0]
+    x_span = (last - first) or 1
+    points = " ".join(
+        f"{2 + (row[0] - first) / x_span * (width - 4):.1f},"
+        f"{height - 4 - (row[1] - lo) / span * (height - 8):.1f}"
+        for row in windows)
+    window_ms = window_ns / _MS
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<polyline fill="none" stroke="#2a6fb0" stroke-width="1.5" '
+        f'points="{points}"/></svg> '
+        f'<span class="muted">[{lo:g} .. {hi:g}] over windows '
+        f'{first}-{last} ({window_ms:g} ms each)</span>')
+
+
+class Dashboard:
+    """One run's telemetry + trace, renderable as text or HTML."""
+
+    def __init__(self, telemetry: dict | None = None,
+                 spans: typing.Iterable[dict] | None = None,
+                 title: str = "repro run dashboard",
+                 window: tuple[int, int] | None = None):
+        self.telemetry = telemetry or {}
+        self.title = title
+        span_list = list(spans) if spans is not None else []
+        self.critpath = CriticalPathReport.from_spans(span_list, window)
+        self.span_count = len(span_list)
+
+    # ------------------------------------------------------------------
+    @property
+    def series(self) -> list[dict]:
+        return self.telemetry.get("timeseries", {}).get("series", [])
+
+    @property
+    def window_ns(self) -> int:
+        return self.telemetry.get("timeseries", {}).get("window_ns", 0)
+
+    @property
+    def alerts(self) -> list[dict]:
+        return self.telemetry.get("monitor", {}).get("alerts", [])
+
+    def alerts_by_severity(self) -> dict[str, int]:
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for alert in self.alerts:
+            counts[alert["severity"]] = counts.get(alert["severity"], 0) + 1
+        return counts
+
+    def error_alerts(self) -> list[dict]:
+        return [alert for alert in self.alerts
+                if alert["severity"] == "error"]
+
+    def _sorted_alerts(self) -> list[dict]:
+        return sorted(self.alerts, key=lambda alert: (
+            _SEVERITY_ORDER.get(alert["severity"], 9), alert["window"],
+            alert["rule"], sorted(alert["labels"].items())))
+
+    # ------------------------------------------------------------------
+    # Text rendering
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        lines = [f"=== {self.title} ===", ""]
+        counts = self.alerts_by_severity()
+        lines.append(f"alerts: {counts['error']} error / "
+                     f"{counts['warning']} warning / {counts['info']} info")
+        for alert in self._sorted_alerts():
+            window_ms = alert["window_start_ns"] / _MS
+            lines.append(
+                f"  [{alert['severity']:>7}] {alert['rule']}: "
+                f"{alert['series']}{_fmt_labels(alert['labels'])} = "
+                f"{alert['value']:g} (threshold {alert['threshold']:g}) "
+                f"in window {alert['window']} @ {window_ms:g} ms")
+        if not self.alerts:
+            lines.append("  (none)")
+
+        lines += ["", f"time-series ({len(self.series)} series, "
+                      f"window = {self.window_ns / _MS:g} ms):"]
+        for series in self.series:
+            windows = series["windows"]
+            if not windows:
+                continue
+            values = [row[1] for row in windows]
+            lines.append(
+                f"  {series['name']}{_fmt_labels(series['labels'])} "
+                f"[{series['kind']}]: {len(windows)} windows, "
+                f"last={values[-1]:g} min={min(values):g} max={max(values):g}")
+        if not self.series:
+            lines.append("  (no telemetry captured)")
+
+        lines += ["", self.critpath.render()]
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # HTML rendering
+    # ------------------------------------------------------------------
+    def render_html(self) -> str:
+        esc = html.escape
+        parts = [
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+            f"<title>{esc(self.title)}</title>",
+            f"<style>{_CSS}</style></head><body>",
+            f"<h1>{esc(self.title)}</h1>",
+        ]
+        counts = self.alerts_by_severity()
+        parts.append(
+            f"<p><span class='sev-error'>{counts['error']} error</span> / "
+            f"<span class='sev-warning'>{counts['warning']} warning</span> / "
+            f"<span class='sev-info'>{counts['info']} info</span> alerts; "
+            f"{len(self.series)} series at "
+            f"{self.window_ns / _MS:g} ms windows</p>")
+
+        parts.append("<h2>Alerts</h2>")
+        if self.alerts:
+            parts.append("<table><tr><th class='l'>severity</th>"
+                         "<th class='l'>rule</th><th class='l'>series</th>"
+                         "<th>value</th><th>threshold</th><th>window</th>"
+                         "<th>sim time (ms)</th></tr>")
+            for alert in self._sorted_alerts():
+                sev = alert["severity"]
+                parts.append(
+                    f"<tr><td class='l sev-{esc(sev)}'>{esc(sev)}</td>"
+                    f"<td class='l'>{esc(alert['rule'])}</td>"
+                    f"<td class='l'>{esc(alert['series'])}"
+                    f"{esc(_fmt_labels(alert['labels']))}</td>"
+                    f"<td>{alert['value']:g}</td>"
+                    f"<td>{alert['threshold']:g}</td>"
+                    f"<td>{alert['window']}</td>"
+                    f"<td>{alert['window_start_ns'] / _MS:g}</td></tr>")
+            parts.append("</table>")
+        else:
+            parts.append("<p class='muted'>no alerts — all monitors "
+                         "stayed green</p>")
+
+        parts.append("<h2>Time-series</h2>")
+        if self.series:
+            for series in self.series:
+                if not series["windows"]:
+                    continue
+                name = esc(series["name"] + _fmt_labels(series["labels"]))
+                parts.append(
+                    f"<div class='spark'><span class='name'>{name}</span> "
+                    f"{_sparkline(series['windows'], self.window_ns)}</div>")
+        else:
+            parts.append("<p class='muted'>no telemetry captured (run with "
+                         "--telemetry)</p>")
+
+        parts.append("<h2>Commit critical path</h2>")
+        parts.append(self._critpath_html())
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+    def _critpath_html(self) -> str:
+        esc = html.escape
+        if not self.critpath.paths:
+            return "<p class='muted'>no complete traced transactions</p>"
+        agg = self.critpath.aggregate()
+        rows = ["<table><tr><th class='l'>segment</th><th>mean (ms)</th>"
+                "<th>share %</th><th>dominates</th></tr>"]
+        for name in SEGMENTS:
+            row = agg[name]
+            rows.append(f"<tr><td class='l'>{esc(name)}</td>"
+                        f"<td>{row['mean_ns'] / _MS:.3f}</td>"
+                        f"<td>{100 * row['share']:.1f}</td>"
+                        f"<td>{row['dominates']}</td></tr>")
+        rows.append("</table>")
+        rows.append(
+            f"<p class='muted'>{len(self.critpath.paths)} transactions; mean "
+            f"e2e = {self.critpath.mean_e2e_ns() / _MS:.3f} ms; max "
+            f"attribution error = "
+            f"{self.critpath.max_attribution_error_ns()} ns</p>")
+        return "\n".join(rows)

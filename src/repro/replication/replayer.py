@@ -30,6 +30,10 @@ class Replayer:
         self._queue: deque[list[RedoRecord]] = deque()
         self._wake: Event | None = None
         self.batches_replayed = 0
+        #: Highest LSN handed to this replayer so far; WAL LSNs are dense
+        #: sequential ints, so ``max_seen_lsn - store.applied_lsn`` is the
+        #: exact number of received-but-unapplied records.
+        self.max_seen_lsn = 0
         self.busy = False
         self._process = env.process(self._run(), name=f"replay:{store.name}")
 
@@ -37,6 +41,8 @@ class Replayer:
         """Hand a received batch to the replayer (called by the DN's
         network handler on batch arrival)."""
         self._queue.append(records)
+        if records and records[-1].lsn > self.max_seen_lsn:
+            self.max_seen_lsn = records[-1].lsn
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
 
@@ -77,6 +83,14 @@ class Replayer:
                                     self.env.now,
                                     track=f"replay:{self.store.name}",
                                     records=len(records))
+                if self.env.series_on:
+                    series = self.env.series
+                    node = self.store.name
+                    series.gauge("repl.applied_lsn", self.store.applied_lsn,
+                                 node=node)
+                    series.gauge("repl.lag_records",
+                                 self.max_seen_lsn - self.store.applied_lsn,
+                                 node=node)
         except Interrupt:
             # The owning node stopped replaying (e.g. it was promoted to
             # primary); drain nothing further.

@@ -206,6 +206,9 @@ class ReplicaStore:
     def _note_ts(self, commit_ts: int) -> None:
         if commit_ts > self.max_commit_ts:
             self.max_commit_ts = commit_ts
+            if self.env.series_on:
+                self.env.series.gauge("repl.applied_ts", commit_ts,
+                                      node=self.name)
             if self._frontier_waiters:
                 still_waiting = []
                 for threshold, event in self._frontier_waiters:

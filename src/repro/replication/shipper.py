@@ -146,6 +146,13 @@ class LogShipper:
                             self.env.now, track=f"ship:{self.src}->{self.dst}",
                             records=len(records), payload_bytes=payload_bytes,
                             wire_bytes=wire_bytes)
+        if self.env.series_on:
+            series = self.env.series
+            channel = f"{self.src}->{self.dst}"
+            # Records are in LSN order: the last one is this channel's
+            # send frontier (vs. the replica's repl.applied_lsn).
+            series.gauge("repl.ship_lsn", records[-1].lsn, link=channel)
+            series.counter("repl.ship_bytes", wire_bytes, link=channel)
         self.network.send(
             self.src, self.dst,
             payload=("redo_batch", self.src, records),

@@ -105,8 +105,14 @@ class RcpCollector:
         if not maxima:
             return self.last_rcp
         rcp = compute_rcp(maxima)
+        advance = max(0, rcp - self.last_rcp)
         if rcp > self.last_rcp:
             self.last_rcp = rcp
+        if self.env.series_on:
+            series = self.env.series
+            series.gauge("ror.rcp", self.last_rcp, cn=self.cn_name)
+            if advance:
+                series.counter("ror.rcp_advance", advance, cn=self.cn_name)
         metrics = self.env.metrics
         if metrics.enabled:
             metrics.counter("ror.rcp_polls", cn=self.cn_name).inc()

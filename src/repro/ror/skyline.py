@@ -47,6 +47,22 @@ def skyline(candidates: typing.Iterable[NodeMetrics]) -> list[NodeMetrics]:
     return frontier
 
 
+def skyline_summary(candidates: typing.Iterable[NodeMetrics]) -> dict:
+    """Telemetry view of one CN's routing state: how many live candidates,
+    the skyline's size, and the freshness spread (min/max staleness over
+    live replicas). Pure — CNs feed the result into ``env.series``."""
+    live = [candidate for candidate in candidates if candidate.up]
+    replicas = [candidate for candidate in live if not candidate.is_primary]
+    return {
+        "live": len(live),
+        "skyline": len(skyline(live)),
+        "freshest_staleness_ns": min(
+            (replica.staleness_ns for replica in replicas), default=0),
+        "stalest_staleness_ns": max(
+            (replica.staleness_ns for replica in replicas), default=0),
+    }
+
+
 def choose_node(candidates: typing.Iterable[NodeMetrics],
                 staleness_bound_ns: int | None = None,
                 min_commit_ts: int | None = None,

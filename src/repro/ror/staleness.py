@@ -52,6 +52,9 @@ class StalenessEstimator:
         if metrics.enabled:
             metrics.set_gauge("ror.frontier_ts", self._last_sample_ts,
                               node=self.name)
+        if self.env.series_on:
+            self.env.series.gauge("ror.frontier_ts", self._last_sample_ts,
+                                  node=self.name)
 
     @property
     def rate_per_second(self) -> float:

@@ -32,6 +32,8 @@ import typing
 
 from repro.errors import SimulationError
 from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.monitor import NULL_MONITOR
+from repro.obs.timeseries import NULL_TIMESERIES
 from repro.obs.trace import NULL_TRACER
 from repro.sim.events import Event, Interrupt, Timeout, PRIORITY_NORMAL, PRIORITY_URGENT
 
@@ -179,10 +181,14 @@ class Environment:
         # contract tests/test_determinism.py enforces.
         self.metrics = NULL_REGISTRY
         self.tracer = NULL_TRACER
-        #: Cached ``metrics.enabled`` / ``tracer.enabled`` — single-load
-        #: guards for per-event instrumentation.
+        self.series = NULL_TIMESERIES
+        self.monitor = NULL_MONITOR
+        #: Cached ``metrics.enabled`` / ``tracer.enabled`` /
+        #: ``series.enabled`` — single-load guards for per-event
+        #: instrumentation.
         self.metrics_on = False
         self.trace_on = False
+        self.series_on = False
 
     @property
     def events_scheduled(self) -> int:

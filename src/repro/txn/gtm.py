@@ -59,6 +59,10 @@ class GTMServer:
             return
         if self.env.metrics_on:
             self.env.metrics.counter("gtm.requests", kind=kind).inc()
+        if self.env.series_on:
+            series = self.env.series
+            series.counter("gtm.requests", 1, kind=kind)
+            series.gauge("gtm.counter", self.counter, node=self.name)
         tracer = self.env.tracer
         # Model a small fixed service time per request.
         if self.service_time_ns:

@@ -63,6 +63,10 @@ class WorkloadStats:
 
     @staticmethod
     def _pick(ordered: list[int], percentile: float) -> int:
+        if not ordered:
+            # Zero-commit run (e.g. duration shorter than one txn): every
+            # percentile is an explicit zero, not an IndexError.
+            return 0
         index = min(len(ordered) - 1,
                     max(0, round(percentile / 100 * (len(ordered) - 1))))
         return ordered[index]
