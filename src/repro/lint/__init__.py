@@ -4,13 +4,19 @@ The whole reproduction rests on bit-for-bit deterministic simulation;
 this package is the gate that keeps it that way. It ships:
 
 - an AST-based analyzer (stdlib ``ast`` only) with a rule registry
-  (:mod:`repro.lint.rules`), six built-in rules SIM101–SIM106
-  (:mod:`repro.lint.visitors`), per-line pragma suppressions and a
-  findings baseline (:mod:`repro.lint.pragmas`), and text/JSON reporters
+  (:mod:`repro.lint.rules`), six per-module rules SIM101–SIM106
+  (:mod:`repro.lint.visitors`), four interprocedural project rules
+  SIM107–SIM110 (:mod:`repro.lint.interproc` — lock-order cycles,
+  mutate-after-send aliasing, yield-while-locked, shared module state),
+  per-line pragma suppressions and a findings baseline
+  (:mod:`repro.lint.pragmas`), and text/JSON reporters
   (:mod:`repro.lint.reporters`);
 - a dynamic cross-check (:mod:`repro.lint.determinism`) that replays a
   traced smoke simulation under distinct ``PYTHONHASHSEED`` values and
-  compares ``repro.obs`` trace digests.
+  compares ``repro.obs`` trace digests;
+- the simsan gate (``san`` subcommand, :mod:`repro.san.cli`): static
+  scan plus a smoke simulation under the :mod:`repro.san` runtime
+  sanitizer (wait-for-graph deadlock detection, payload fingerprints).
 
 CLI::
 
@@ -18,6 +24,7 @@ CLI::
     python -m repro.lint src --format json
     python -m repro.lint --list-rules
     python -m repro.lint --determinism --seeds 3
+    python -m repro.lint san --json simsan-findings.json
 
 Suppress a deliberate finding with a justified line pragma::
 
@@ -29,6 +36,8 @@ from repro.lint.rules import (
     REGISTRY,
     Finding,
     Module,
+    Project,
+    ProjectRule,
     Rule,
     default_rules,
     lint_paths,
@@ -41,6 +50,8 @@ __all__ = [
     "Baseline",
     "Finding",
     "Module",
+    "Project",
+    "ProjectRule",
     "REGISTRY",
     "Rule",
     "Suppressions",

@@ -7,8 +7,12 @@ Modes:
   any non-grandfathered finding.
 - **Dynamic** (``--determinism``): run the hash-seed perturbation harness
   (:mod:`repro.lint.determinism`). Exit 1 when trace digests diverge.
+- **simsan** (``san`` subcommand): the combined hazard gate — static
+  interprocedural scan (SIM107–SIM110 and friends) plus a smoke
+  simulation under the :mod:`repro.san` runtime sanitizer. Exit 1 on any
+  static or runtime finding (see :mod:`repro.san.cli`).
 
-Both gates run in CI; a change must pass both to land.
+All three gates run in CI; a change must pass all of them to land.
 """
 
 from __future__ import annotations
@@ -140,6 +144,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "san":
+        # ``python -m repro.lint san``: the combined simsan gate — static
+        # interprocedural scan plus a sanitized smoke simulation.
+        from repro.san.cli import main as san_main
+        return san_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_rules:
         return _cmd_list_rules()

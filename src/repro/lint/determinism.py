@@ -34,7 +34,7 @@ CHILD_TIMEOUT_S = 600
 def smoke_run(duration_s: float = DEFAULT_DURATION_S,
               warmup_s: float = DEFAULT_WARMUP_S,
               seed: int = 0, workload_seed: int = 42,
-              telemetry: bool = False) -> dict:
+              telemetry: bool = False, sanitize: bool = False) -> dict:
     """One small traced One-Region TPC-C run, summarised for comparison.
 
     The digest covers every recorded span (ordering, timing, payloads);
@@ -44,13 +44,21 @@ def smoke_run(duration_s: float = DEFAULT_DURATION_S,
     default SLO monitors and reports the monitor's alert-stream digest —
     proving the *telemetry pipeline itself* is hash-order independent.
     (The perf harness's pinned digest uses ``telemetry=False``, the
-    pre-telemetry configuration, so the recording stays comparable.)"""
+    pre-telemetry configuration, so the recording stays comparable.)
+
+    ``sanitize=True`` installs the :mod:`repro.san` runtime sanitizer and
+    reports its finding count and details; sanitizer findings are emitted
+    into the trace, so the digest also proves the *report itself* is
+    hash-seed stable."""
     from repro import ClusterConfig, build_cluster, one_region
     from repro.workloads import TpccConfig, TpccWorkload, run_workload
 
     db = build_cluster(ClusterConfig.globaldb(
         one_region(), seed=seed, metrics_enabled=False, trace_enabled=True,
         timeseries_enabled=telemetry))
+    if sanitize:
+        from repro.san import Sanitizer
+        Sanitizer(db.env).install()
     workload = TpccWorkload(TpccConfig(
         warehouses=2, districts_per_warehouse=2, customers_per_district=10,
         items=20, initial_orders_per_district=5, seed=workload_seed))
@@ -69,6 +77,9 @@ def smoke_run(duration_s: float = DEFAULT_DURATION_S,
         summary["alerts"] = len(db.env.monitor.alerts)
         summary["alerts_digest"] = db.env.monitor.digest()
         summary["series"] = len(db.env.series.all_series())
+    if sanitize:
+        summary["san_findings"] = db.env.san.report.to_dicts()
+        summary["san_messages_checked"] = db.env.san.messages_checked
     return summary
 
 
@@ -127,7 +138,8 @@ def _child_env(hash_seed: int) -> dict[str, str]:
 def run_perturbation(seeds: int = DEFAULT_SEEDS,
                      duration_s: float = DEFAULT_DURATION_S,
                      warmup_s: float = DEFAULT_WARMUP_S,
-                     echo=None, telemetry: bool = True) -> DeterminismResult:
+                     echo=None, telemetry: bool = True,
+                     sanitize: bool = False) -> DeterminismResult:
     """Run the smoke sim under ``seeds`` distinct hash seeds and compare.
 
     Hash seeds are spread out (1, 1001, 2001, ...) rather than 0..N-1
@@ -146,6 +158,8 @@ def run_perturbation(seeds: int = DEFAULT_SEEDS,
                    "--duration", str(duration_s), "--warmup", str(warmup_s)]
         if telemetry:
             command.append("--telemetry")
+        if sanitize:
+            command.append("--sanitize")
         try:
             proc = subprocess.run(
                 command, env=_child_env(hash_seed), capture_output=True,
@@ -191,10 +205,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--telemetry", action="store_true",
                         help="also run time-series + monitors and report "
                              "the alert-stream digest")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="install the repro.san runtime sanitizer and "
+                             "report its findings")
     args = parser.parse_args(argv)
     summary = smoke_run(duration_s=args.duration, warmup_s=args.warmup,
                         seed=args.seed, workload_seed=args.workload_seed,
-                        telemetry=args.telemetry)
+                        telemetry=args.telemetry, sanitize=args.sanitize)
     print(json.dumps(summary, sort_keys=True))
     return 0
 

@@ -112,6 +112,41 @@ class Rule:
                        col=getattr(node, "col_offset", 0), message=message)
 
 
+@dataclass
+class Project:
+    """Every parsed module of one lint run, shared by project rules.
+
+    ``cache`` lets interprocedural rules share expensive artifacts (the
+    call-graph index, function summaries) within a single run instead of
+    rebuilding them per rule.
+    """
+
+    modules: list[Module]
+    cache: dict = field(default_factory=dict)
+
+    def module_by_name(self, name: str) -> Module | None:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        return None
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the whole project at once.
+
+    Per-module :meth:`check` is a no-op; the engine calls
+    :meth:`check_project` exactly once per run with every parsed module.
+    Findings still carry a (path, line) location, so per-line pragmas and
+    baselines apply unchanged.
+    """
+
+    def check(self, module: Module) -> typing.Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> typing.Iterator[Finding]:
+        raise NotImplementedError
+
+
 #: code -> rule class. Populated by :func:`register` (the built-in rules in
 #: :mod:`repro.lint.visitors` register on import).
 REGISTRY: dict[str, type[Rule]] = {}
@@ -129,7 +164,7 @@ def default_rules(select: typing.Collection[str] | None = None,
                   ignore: typing.Collection[str] = ()) -> list[Rule]:
     """Instantiate the registered rules, optionally filtered by code."""
     # Import for the side effect of registering the built-in rules.
-    from repro.lint import visitors  # noqa: F401
+    from repro.lint import interproc, visitors  # noqa: F401
     codes = sorted(REGISTRY)
     if select:
         unknown = set(select) - set(codes)
@@ -143,6 +178,30 @@ def default_rules(select: typing.Collection[str] | None = None,
 # ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
+def _run_rules(modules: list[Module],
+               rules: typing.Sequence[Rule]) -> list[Finding]:
+    """Run per-module rules on each module and project rules once, then
+    drop pragma-suppressed findings. Unsorted — callers sort exactly once."""
+    module_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in module_rules:
+            findings.extend(rule.check(module))
+    if project_rules:
+        project = Project(modules)
+        for rule in project_rules:
+            findings.extend(rule.check_project(project))
+    suppressions = {module.path: module.suppressions for module in modules}
+    kept = []
+    for finding in findings:
+        covered = suppressions.get(finding.path)
+        if covered is not None and covered.covers(finding.line, finding.rule):
+            continue
+        kept.append(finding)
+    return kept
+
+
 def lint_source(source: str, path: str = "<string>",
                 rules: typing.Sequence[Rule] | None = None,
                 module_name: str | None = None) -> list[Finding]:
@@ -150,6 +209,8 @@ def lint_source(source: str, path: str = "<string>",
 
     A syntax error becomes a single ``SIM100`` finding rather than an
     exception, so one broken file cannot hide findings in the rest of a run.
+    Project rules see a single-module project, so the interprocedural rules
+    still work on self-contained fixtures.
     """
     if rules is None:
         rules = default_rules()
@@ -159,17 +220,19 @@ def lint_source(source: str, path: str = "<string>",
         return [Finding(rule="SIM100", path=path, line=exc.lineno or 1,
                         col=(exc.offset or 1) - 1,
                         message=f"syntax error: {exc.msg}")]
-    findings = []
-    for rule in rules:
-        findings.extend(rule.check(module))
-    findings = [finding for finding in findings
-                if not module.suppressions.covers(finding.line, finding.rule)]
+    findings = _run_rules([module], rules)
     findings.sort(key=lambda finding: finding.sort_key)
     return findings
 
 
 def iter_python_files(paths: typing.Iterable[str]) -> typing.Iterator[str]:
-    """Expand files/directories into a deterministic .py file list."""
+    """Expand files/directories into a deterministic .py file list.
+
+    Deduplicated by ``os.path.realpath``: a file passed both directly and
+    via a parent directory (or reached twice through symlinks) is yielded
+    once, under the first spelling seen.
+    """
+    seen: set[str] = set()
     for path in paths:
         if os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
@@ -178,17 +241,31 @@ def iter_python_files(paths: typing.Iterable[str]) -> typing.Iterator[str]:
                                      and not name.startswith("."))
                 for filename in sorted(filenames):
                     if filename.endswith(".py"):
-                        yield os.path.join(dirpath, filename)
+                        filepath = os.path.join(dirpath, filename)
+                        real = os.path.realpath(filepath)
+                        if real not in seen:
+                            seen.add(real)
+                            yield filepath
         else:
-            yield path
+            real = os.path.realpath(path)
+            if real not in seen:
+                seen.add(real)
+                yield path
 
 
 def lint_paths(paths: typing.Iterable[str],
                rules: typing.Sequence[Rule] | None = None) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths``."""
+    """Lint every ``.py`` file under ``paths`` as one project.
+
+    All files parse first so project rules (SIM107–SIM110) see the whole
+    call graph; findings are collected unsorted and sorted exactly once at
+    the end (``lint_source`` used to sort per file *and* this function
+    re-sorted the concatenation).
+    """
     if rules is None:
         rules = default_rules()
     findings: list[Finding] = []
+    modules: list[Module] = []
     for filepath in iter_python_files(paths):
         try:
             with open(filepath, encoding="utf-8") as handle:
@@ -197,6 +274,13 @@ def lint_paths(paths: typing.Iterable[str],
             findings.append(Finding(rule="SIM100", path=filepath, line=1,
                                     col=0, message=f"cannot read file: {exc}"))
             continue
-        findings.extend(lint_source(source, path=filepath, rules=rules))
+        try:
+            modules.append(Module.from_source(source, filepath))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="SIM100", path=filepath, line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}"))
+    findings.extend(_run_rules(modules, rules))
     findings.sort(key=lambda finding: finding.sort_key)
     return findings

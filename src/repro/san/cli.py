@@ -1,0 +1,132 @@
+"""``python -m repro.lint san`` — the combined simsan gate.
+
+Two phases, both on by default:
+
+1. **Static scan**: every registered simlint rule (including the
+   interprocedural SIM107–SIM110) over the given paths (default ``src``),
+   honouring pragmas.
+2. **Sanitized smoke**: the standard traced smoke simulation with the
+   :mod:`repro.san` runtime sanitizer installed — live wait-for-graph
+   deadlock detection plus payload fingerprint verification on every
+   delivered message.
+
+Exit 1 if either phase produces a finding; ``--json`` writes a combined
+machine-readable artifact (what CI uploads). ``--seeds N`` additionally
+re-runs the sanitized smoke under N distinct ``PYTHONHASHSEED`` values and
+requires one trace digest — proving the sanitizer's report is itself
+deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint san",
+        description="simsan: interprocedural hazard scan + sanitized "
+                    "smoke simulation.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan (default: src)")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="write combined findings JSON to PATH")
+    parser.add_argument("--no-smoke", action="store_true",
+                        help="skip the sanitized smoke simulation (static "
+                             "scan only)")
+    parser.add_argument("--no-static", action="store_true",
+                        help="skip the static scan (sanitized smoke only)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="smoke sim-seconds (default: the determinism "
+                             "harness default)")
+    parser.add_argument("--seeds", type=int, default=0,
+                        help="also prove report stability under N distinct "
+                             "hash seeds (0 = skip)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS
+    from repro.lint.determinism import DEFAULT_DURATION_S
+
+    args = build_parser().parse_args(argv)
+    duration = args.duration if args.duration is not None \
+        else DEFAULT_DURATION_S
+    artifact: dict = {"static": [], "runtime": [], "ok": True}
+    failed = False
+
+    if not args.no_static:
+        from repro.lint.rules import default_rules, lint_paths
+
+        paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+        missing = [path for path in paths if not os.path.exists(path)]
+        if missing:
+            print(f"error: no such path(s): {', '.join(missing)}",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        findings = lint_paths(paths, rules=default_rules())
+        artifact["static"] = [finding.to_dict() for finding in findings]
+        if findings:
+            failed = True
+            for finding in findings:
+                print(f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                      f"{finding.rule} {finding.message}")
+            print(f"san/static: {len(findings)} finding(s)")
+        else:
+            print(f"san/static: clean ({', '.join(paths)})")
+
+    if not args.no_smoke:
+        from repro.lint.determinism import smoke_run
+
+        summary = smoke_run(duration_s=duration, sanitize=True)
+        runtime_findings = summary["san_findings"]
+        artifact["runtime"] = runtime_findings
+        artifact["smoke"] = {
+            "digest": summary["digest"],
+            "committed": summary["committed"],
+            "aborted": summary["aborted"],
+            "messages_checked": summary["san_messages_checked"],
+        }
+        if runtime_findings:
+            failed = True
+            for finding in runtime_findings:
+                print(f"san/runtime: [{finding['kind']}] "
+                      f"t={finding['time_ns']}ns {finding['message']}")
+            print(f"san/runtime: {len(runtime_findings)} finding(s)")
+        else:
+            print(f"san/runtime: clean "
+                  f"({summary['san_messages_checked']} messages verified, "
+                  f"{summary['committed']} txns committed, "
+                  f"digest {summary['digest'][:16]}…)")
+
+    if args.seeds:
+        from repro.lint.determinism import run_perturbation
+
+        if args.seeds < 2:
+            print("error: --seeds must be >= 2 (one run proves nothing)",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        print(f"san/determinism: {args.seeds} sanitized runs under "
+              f"distinct hash seeds")
+        result = run_perturbation(seeds=args.seeds, duration_s=duration,
+                                  echo=print, telemetry=False,
+                                  sanitize=True)
+        print(result.render())
+        artifact["determinism_ok"] = result.ok
+        if not result.ok:
+            failed = True
+
+    artifact["ok"] = not failed
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"san: wrote findings artifact to {args.json_path}")
+    return EXIT_FINDINGS if failed else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Structural payload fingerprints for mutation-after-send detection.
+
+A fingerprint is a SHA-1 over a *canonical string* of the payload's
+structure and values. Canonicalization is hash-seed independent (dicts are
+serialized sorted by ``repr(key)``, sets by canonical element string), so
+the same payload fingerprints identically under every ``PYTHONHASHSEED`` —
+a requirement for the sanitizer's findings to survive ``lint
+--determinism``.
+
+Deliberately opaque leaves:
+
+- :class:`~repro.sim.events.Event` — RPC reply tuples carry the caller's
+  pending event, whose ``triggered`` state legitimately changes while the
+  message is in flight; hashing it would flag the kernel itself.
+- :class:`~repro.sim.network.Request` — fingerprinted as (src, dst, body)
+  only; ``replied`` flips when the handler answers, by design.
+- Any other unrecognized object — class name only. Mutations inside
+  objects the canonicalizer cannot see are out of scope (the static
+  SIM108 rule covers aliasing of plain containers, which is what the
+  redo/commit paths actually ship).
+
+Cost model: one canonicalization walk per send and one per delivery —
+O(payload size) each, zero when the sanitizer is not installed. Depth is
+capped (:data:`MAX_DEPTH`); beyond it a node contributes the marker
+``<deep>`` (both walks cap identically, so capping never causes a false
+positive).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing
+
+MAX_DEPTH = 12
+
+
+def fingerprint(value: typing.Any) -> str:
+    """Hex SHA-1 of the value's canonical structure string."""
+    return hashlib.sha1(canonical(value).encode("utf-8",
+                                                "backslashreplace")).hexdigest()
+
+
+def canonical(value: typing.Any, depth: int = MAX_DEPTH) -> str:
+    """Hash-seed-stable structural serialization of ``value``."""
+    if depth <= 0:
+        return "<deep>"
+    if value is None or value is True or value is False:
+        return repr(value)
+    kind = type(value)
+    if kind in (int, float, str, bytes):
+        return f"{kind.__name__}:{value!r}"
+    if kind in (tuple, list):
+        inner = ",".join(canonical(item, depth - 1) for item in value)
+        return f"{kind.__name__}[{inner}]"
+    if kind in (dict,):
+        items = sorted(((repr(key), canonical(item, depth - 1))
+                        for key, item in value.items()))
+        inner = ",".join(f"{key}={item}" for key, item in items)
+        return f"dict{{{inner}}}"
+    if kind in (set, frozenset):
+        inner = ",".join(sorted(canonical(item, depth - 1) for item in value))
+        return f"{kind.__name__}{{{inner}}}"
+    # Sim-kernel objects whose in-flight state changes by design.
+    from repro.sim.events import Event
+    from repro.sim.network import Request
+    if isinstance(value, Request):
+        return (f"Request(src={value.src!r},dst={value.dst!r},"
+                f"body={canonical(value.body, depth - 1)})")
+    if isinstance(value, Event):
+        return "<Event>"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        inner = ",".join(
+            f"{f.name}={canonical(getattr(value, f.name), depth - 1)}"
+            for f in dataclasses.fields(value))
+        return f"{kind.__name__}({inner})"
+    return f"<{kind.__name__}>"

@@ -1,0 +1,80 @@
+"""Sanitizer findings: collection, formatting, and trace emission.
+
+Every finding is recorded twice: in the in-memory report (what the CLI
+prints and serializes) and — when tracing is enabled — as an ``instant``
+span in the ``repro.obs`` trace on the ``san`` track. The trace copy is
+what makes report stability *provable*: ``lint --determinism`` re-runs the
+sanitized smoke under perturbed hash seeds and compares trace digests, so
+a finding whose content depended on set order or ``id()`` would break the
+digest instead of silently flapping.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+DEADLOCK = "deadlock-cycle"
+MUTATION = "mutation-after-send"
+
+
+@dataclass(frozen=True)
+class SanFinding:
+    """One runtime hazard, located in simulated time."""
+
+    kind: str               #: :data:`DEADLOCK` or :data:`MUTATION`
+    time_ns: int            #: sim time the hazard was detected
+    message: str            #: deterministic human-readable description
+    details: tuple = ()     #: sorted (key, value) pairs, all strings
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "time_ns": self.time_ns,
+                "message": self.message, "details": dict(self.details)}
+
+
+@dataclass
+class SanReport:
+    """Ordered findings from one sanitized run."""
+
+    findings: list[SanFinding] = field(default_factory=list)
+
+    def add(self, env, kind: str, message: str,
+            **details: str) -> SanFinding:
+        finding = SanFinding(kind=kind, time_ns=env.now, message=message,
+                             details=tuple(sorted(details.items())))
+        self.findings.append(finding)
+        if env.trace_on:
+            env.tracer.instant("san", kind, track="san",
+                               message=message, **details)
+        if env.series_on:
+            env.series.counter(f"san.{kind}", 1)
+        return finding
+
+    def count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.findings)
+        return sum(1 for finding in self.findings if finding.kind == kind)
+
+    def to_dicts(self) -> list[dict]:
+        return [finding.to_dict() for finding in self.findings]
+
+    def render(self) -> str:
+        if not self.findings:
+            return "san: clean (0 runtime findings)"
+        lines = [f"san: {len(self.findings)} runtime finding(s)"]
+        for finding in self.findings:
+            lines.append(f"  [{finding.kind}] t={finding.time_ns}ns "
+                         f"{finding.message}")
+        return "\n".join(lines)
+
+
+def describe_cycle(cycle: typing.Sequence[tuple[int, tuple]],
+                   scope_names: dict[int, str]) -> str:
+    """Render a wait-for cycle as ``txn A waits k1 held by txn B; ...``."""
+    parts = []
+    for index, (txid, (scope, lock_key)) in enumerate(cycle):
+        holder = cycle[(index + 1) % len(cycle)][0]
+        scope_name = scope_names.get(scope, f"locks#{scope}")
+        parts.append(f"txn {txid} waits {scope_name}:{lock_key[0]}"
+                     f"{lock_key[1]} held by txn {holder}")
+    return "; ".join(parts)

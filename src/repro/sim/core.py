@@ -189,6 +189,10 @@ class Environment:
         self.metrics_on = False
         self.trace_on = False
         self.series_on = False
+        #: Runtime hazard sanitizer (see repro.san). ``None`` unless
+        #: installed (``REPRO_SAN=1`` or ``Sanitizer(env).install()``);
+        #: hook sites pay one attribute load + None check when off.
+        self.san = None
 
     @property
     def events_scheduled(self) -> int:

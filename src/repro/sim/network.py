@@ -284,6 +284,11 @@ class Network:
             env.tracer.complete("net", _payload_kind(payload), now, deliver_at,
                                 track=f"net:{src}->{dst}", size=size_bytes)
         message = Message(src, dst, payload, size_bytes, now, deliver_at)
+        san = env.san
+        if san is not None:
+            # Fingerprint the payload as it leaves the sender; _deliver
+            # re-verifies it just before the handler runs.
+            san.on_message_send(message)
         if link is not None:
             # Same-link same-tick coalescing: if the link's previous
             # delivery entry lands at the same instant AND nothing has been
@@ -313,6 +318,9 @@ class Network:
             deliver(message)
 
     def _deliver(self, message: Message) -> None:
+        san = self.env.san
+        if san is not None:
+            san.on_message_deliver(message)
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None or not endpoint.up:
             self.messages_dropped += 1

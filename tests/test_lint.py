@@ -433,3 +433,24 @@ class TestDeterminismHarness:
         assert result.ok, result.render()
         assert len({run["digest"] for run in result.runs}) == 1
         assert "PASS" in result.render()
+
+
+class TestFileDedup:
+    def test_file_passed_directly_and_via_directory_yields_once(self, tmp_path):
+        from repro.lint.rules import iter_python_files
+
+        target = tmp_path / "mod.py"
+        target.write_text("import time\n", encoding="utf-8")
+        files = list(iter_python_files([str(target), str(tmp_path)]))
+        assert len(files) == 1
+
+    def test_no_duplicate_findings_for_doubly_passed_file(self, tmp_path):
+        target = tmp_path / "mod.py"
+        # One definite SIM101 finding.
+        target.write_text(
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()\n", encoding="utf-8")
+        findings = lint_paths([str(target), str(tmp_path)])
+        assert len(findings) == 1
+        assert findings[0].rule == "SIM101"

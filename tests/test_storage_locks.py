@@ -114,3 +114,77 @@ def test_different_keys_do_not_contend():
     locks.acquire(1, "t", (1,))
     event = locks.acquire(2, "t", (2,))
     assert event.triggered and event.ok
+
+
+def test_deadlock_counted_separately_from_timeout():
+    # AB/BA cycle with no sanitizer: the timeout breaks it, but the abort
+    # is classified (and counted) as a deadlock, not a plain timeout.
+    env = Environment()
+    locks = LockTable(env)
+    aborted = []
+
+    def txn(me, delay, first, second):
+        yield locks.acquire(me, first, (1,))
+        yield env.timeout(delay)
+        try:
+            yield locks.acquire(me, second, (1,))
+        except WriteConflict:
+            aborted.append(me)
+        locks.release_all(me)
+
+    env.process(txn(1, 1, "a", "b"))
+    env.process(txn(2, 2, "b", "a"))
+    env.run()
+    assert aborted  # the cycle had to be broken
+    assert locks.deadlock_count == 1
+    assert locks.timeout_count == 0
+
+
+def test_lock_counters_emitted_into_timeseries():
+    from repro.obs import enable_observability
+
+    env = Environment()
+    enable_observability(env, metrics=False, trace=False, timeseries=True)
+    locks = LockTable(env, default_timeout_ns=ms(20))
+    locks.acquire(1, "t", (1,))  # holder never releases
+
+    def waiter():
+        try:
+            yield locks.acquire(2, "t", (1,))
+        except WriteConflict:
+            pass
+
+    env.process(waiter())
+    env.run()
+    assert locks.timeout_count == 1
+    series = env.series.series("lock.timeouts")
+    assert series is not None
+    assert sum(window.last for window in series.windows.values()) == 1
+    assert env.series.series("lock.deadlocks") is None
+
+
+def test_deadlock_emitted_into_timeseries_with_sanitizer():
+    from repro.obs import enable_observability
+    from repro.san import Sanitizer
+
+    env = Environment()
+    enable_observability(env, metrics=False, trace=False, timeseries=True)
+    Sanitizer(env).install()
+    locks = LockTable(env)
+
+    def txn(me, delay, first, second):
+        yield locks.acquire(me, first, (1,))
+        yield env.timeout(delay)
+        try:
+            yield locks.acquire(me, second, (1,))
+        except WriteConflict:
+            pass
+        locks.release_all(me)
+
+    env.process(txn(1, 1, "a", "b"))
+    env.process(txn(2, 2, "b", "a"))
+    env.run()
+    assert locks.deadlock_count == 1
+    series = env.series.series("lock.deadlocks")
+    assert series is not None
+    assert sum(window.last for window in series.windows.values()) == 1
