@@ -1,0 +1,72 @@
+"""``repro.chaos``: a sim-native nemesis fault-injection engine.
+
+The paper's headline claims are *correctness under adversity* — external
+consistency from decentralized GClock timestamps, zero-downtime GTM↔GClock
+migration, strongly consistent replica reads bounded by the RCP. This
+package actively attacks them: a schedule DSL
+(:class:`~repro.chaos.schedule.FaultSpec` /
+:class:`~repro.chaos.schedule.FaultSchedule` /
+:class:`~repro.chaos.schedule.Nemesis`) drives injectors
+(:mod:`repro.chaos.injectors`) for network partitions, link degradation,
+node crash/restart, clock anomalies, GTM outage and mode migration under
+fire. Everything is seeded-stream deterministic and heals exactly; paired
+with :mod:`repro.check` it turns consistency claims into machine-checked
+facts::
+
+    from repro.chaos import make_nemesis
+    nemesis = make_nemesis("default", db).start()
+    ...run a workload...
+    nemesis.quiesce()   # heal anything still active
+
+Injectors are the only sanctioned fault surface: simlint's SIM111 flags
+direct link/clock mutation anywhere outside this package and the layers
+that implement the primitives.
+"""
+
+from repro.chaos.injectors import (
+    AsymmetricPartition,
+    BandwidthCollapse,
+    ClockDriftBurst,
+    ClockStep,
+    GtmOutage,
+    Injector,
+    JitterStorm,
+    LatencySpike,
+    LinkCut,
+    MigrationUnderFire,
+    NodeCrash,
+    RegionPartition,
+    RegionSplit,
+    SyncOutage,
+)
+from repro.chaos.nemeses import NEMESES, available_nemeses, make_nemesis
+from repro.chaos.schedule import (
+    ChaosEvent,
+    FaultSchedule,
+    FaultSpec,
+    Nemesis,
+)
+
+__all__ = [
+    "Injector",
+    "RegionPartition",
+    "RegionSplit",
+    "AsymmetricPartition",
+    "LinkCut",
+    "LatencySpike",
+    "JitterStorm",
+    "BandwidthCollapse",
+    "NodeCrash",
+    "ClockDriftBurst",
+    "ClockStep",
+    "SyncOutage",
+    "GtmOutage",
+    "MigrationUnderFire",
+    "FaultSpec",
+    "FaultSchedule",
+    "Nemesis",
+    "ChaosEvent",
+    "NEMESES",
+    "available_nemeses",
+    "make_nemesis",
+]

@@ -1,0 +1,443 @@
+"""Fault injectors: the primitive faults the nemesis composes.
+
+Every injector is a small stateful object with an ``inject(db, rng)`` /
+``heal(db)`` pair. ``inject`` saves whatever state it perturbs and returns
+a short human-readable detail string (recorded in the chaos event log);
+``heal`` restores the saved state *exactly*, so a healed cluster is
+indistinguishable from one that never saw the fault (modulo the work the
+cluster did while degraded — replication catch-up, failover, aborted
+transactions). Both calls mutate simulation state directly and never
+schedule events: all timing lives in the :class:`~repro.chaos.schedule.
+Nemesis` driver, which keeps the engine's determinism story trivial.
+
+Randomness comes exclusively from the seeded stream the nemesis hands in
+(``chaos:*`` streams of :class:`~repro.sim.rand.RandomStreams`), and every
+candidate enumeration is sorted, so a given ``(cluster seed, schedule)``
+pair always yields the same fault sequence.
+
+Injectors are the *only* place the repository is allowed to reach into
+``Network``/``Link``/clock fault surfaces — simlint's SIM111 flags direct
+mutation anywhere else.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.units import ms, us
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import random
+
+    from repro.cluster.builder import GlobalDB
+
+
+class Injector:
+    """Base class: one fault with deterministic inject/heal."""
+
+    name = "injector"
+
+    def inject(self, db: "GlobalDB", rng: "random.Random") -> str:
+        raise NotImplementedError
+
+    def heal(self, db: "GlobalDB") -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # stable, for event logs and tests
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def _cross_region_links(db: "GlobalDB", region_a: str | None = None,
+                        region_b: str | None = None):
+    """Yield ``(src, dst, link)`` for every directed inter-region link.
+
+    With ``region_a``/``region_b`` given, only links between that pair (in
+    both directions); otherwise every inter-region link. Enumeration is
+    sorted by endpoint name for determinism.
+    """
+    network = db.network
+    names = sorted(network._endpoints)
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            src_region = network._endpoints[src].region
+            dst_region = network._endpoints[dst].region
+            if src_region == dst_region:
+                continue
+            if region_a is not None:
+                if {src_region, dst_region} != {region_a, region_b}:
+                    continue
+            yield src, dst, network.link(src, dst)
+
+
+# ----------------------------------------------------------------------
+# Network partitions
+# ----------------------------------------------------------------------
+class RegionPartition(Injector):
+    """Bidirectional cut between two regions (the paper's WAN failure)."""
+
+    name = "region-partition"
+
+    def __init__(self, region_a: str, region_b: str):
+        self.region_a = region_a
+        self.region_b = region_b
+
+    def inject(self, db, rng) -> str:
+        db.network.set_partition(self.region_a, self.region_b, blocked=True)
+        return f"{self.region_a}<->{self.region_b}"
+
+    def heal(self, db) -> None:
+        db.network.set_partition(self.region_a, self.region_b, blocked=False)
+
+
+class RegionSplit(Injector):
+    """Isolate one region from every other region (region-wide outage)."""
+
+    name = "region-split"
+
+    def __init__(self, region: str):
+        self.region = region
+
+    def inject(self, db, rng) -> str:
+        for other in db.config.topology.regions:
+            if other != self.region:
+                db.network.set_partition(self.region, other, blocked=True)
+        return f"{self.region} isolated"
+
+    def heal(self, db) -> None:
+        for other in db.config.topology.regions:
+            if other != self.region:
+                db.network.set_partition(self.region, other, blocked=False)
+
+
+class AsymmetricPartition(Injector):
+    """Block traffic ``region_a -> region_b`` only; replies still flow.
+
+    The classic "half-open" failure: A's requests vanish while B can keep
+    talking to A, which exercises timeout/ retry paths that a symmetric
+    cut never reaches.
+    """
+
+    name = "asymmetric-partition"
+
+    def __init__(self, region_a: str, region_b: str):
+        self.region_a = region_a
+        self.region_b = region_b
+        self._blocked: list = []
+
+    def inject(self, db, rng) -> str:
+        network = db.network
+        self._blocked = []
+        for src in sorted(network._endpoints):
+            for dst in sorted(network._endpoints):
+                if src == dst:
+                    continue
+                if (network._endpoints[src].region == self.region_a
+                        and network._endpoints[dst].region == self.region_b):
+                    link = network.link(src, dst)
+                    if not link.blocked:
+                        link.blocked = True
+                        self._blocked.append(link)
+        return f"{self.region_a}->{self.region_b} one-way"
+
+    def heal(self, db) -> None:
+        for link in self._blocked:
+            link.blocked = False
+        self._blocked = []
+
+
+class LinkCut(Injector):
+    """Cut the single (bidirectional) link between two named endpoints."""
+
+    name = "link-cut"
+
+    def __init__(self, src: str, dst: str):
+        self.src = src
+        self.dst = dst
+
+    def inject(self, db, rng) -> str:
+        db.network.link(self.src, self.dst).blocked = True
+        db.network.link(self.dst, self.src).blocked = True
+        return f"{self.src}<->{self.dst}"
+
+    def heal(self, db) -> None:
+        db.network.link(self.src, self.dst).blocked = False
+        db.network.link(self.dst, self.src).blocked = False
+
+
+# ----------------------------------------------------------------------
+# Link degradation
+# ----------------------------------------------------------------------
+class LatencySpike(Injector):
+    """tc-style extra one-way delay on every inter-region link."""
+
+    name = "latency-spike"
+
+    def __init__(self, extra_ms: float = 20.0,
+                 region_a: str | None = None, region_b: str | None = None):
+        self.extra_ns = ms(extra_ms)
+        self.region_a = region_a
+        self.region_b = region_b
+        self._saved: list = []
+
+    def inject(self, db, rng) -> str:
+        self._saved = []
+        for _src, _dst, link in _cross_region_links(db, self.region_a,
+                                                    self.region_b):
+            self._saved.append((link, link.extra_delay_ns))
+            link.extra_delay_ns = self.extra_ns
+        scope = (f"{self.region_a}<->{self.region_b}"
+                 if self.region_a else "all inter-region")
+        return f"+{self.extra_ns / 1e6:.0f}ms on {scope}"
+
+    def heal(self, db) -> None:
+        for link, previous in self._saved:
+            link.extra_delay_ns = previous
+        self._saved = []
+
+
+class JitterStorm(Injector):
+    """Raise per-message jitter on every inter-region link."""
+
+    name = "jitter-storm"
+
+    def __init__(self, jitter_ms: float = 5.0):
+        self.jitter_ns = ms(jitter_ms)
+        self._saved: list = []
+
+    def inject(self, db, rng) -> str:
+        self._saved = []
+        for _src, _dst, link in _cross_region_links(db):
+            self._saved.append((link, link.jitter_ns))
+            link.jitter_ns = self.jitter_ns
+        return f"jitter {self.jitter_ns / 1e6:.0f}ms inter-region"
+
+    def heal(self, db) -> None:
+        for link, previous in self._saved:
+            link.jitter_ns = previous
+        self._saved = []
+
+
+class BandwidthCollapse(Injector):
+    """Divide inter-region bandwidth by ``factor`` (congestion collapse)."""
+
+    name = "bandwidth-collapse"
+
+    def __init__(self, factor: float = 100.0):
+        self.factor = factor
+        self._saved: list = []
+
+    def inject(self, db, rng) -> str:
+        self._saved = []
+        for _src, _dst, link in _cross_region_links(db):
+            self._saved.append((link, link.bandwidth_bps))
+            link.bandwidth_bps = link.bandwidth_bps / self.factor
+        return f"inter-region bandwidth /{self.factor:g}"
+
+    def heal(self, db) -> None:
+        for link, previous in self._saved:
+            link.bandwidth_bps = previous
+        self._saved = []
+
+
+# ----------------------------------------------------------------------
+# Node crash / restart
+# ----------------------------------------------------------------------
+class NodeCrash(Injector):
+    """Crash one node (endpoint down, all in-flight traffic dropped) and
+    later restart it.
+
+    ``kind`` picks the candidate pool: ``"replica"`` (default — recovery
+    exercises the redo gap-detection + catch-up path), ``"primary"``
+    (commits on that shard abort until restart, or a replica is promoted
+    when auto-failover is on), or ``"cn"``. The victim is drawn from the
+    seeded chaos stream over a sorted candidate list.
+    """
+
+    name = "node-crash"
+
+    def __init__(self, kind: str = "replica", node: str | None = None):
+        if kind not in ("replica", "primary", "cn"):
+            raise ValueError(f"unknown crash kind: {kind!r}")
+        self.kind = kind
+        self.node_name = node
+        self._victim = None
+
+    def _candidates(self, db) -> list:
+        if self.kind == "replica":
+            pool = [replica for replica_list in db.replicas.values()
+                    for replica in replica_list]
+        elif self.kind == "primary":
+            pool = list(db.primaries)
+        else:
+            pool = list(db.cns)
+        return sorted((node for node in pool if not node.failed),
+                      key=lambda node: node.name)
+
+    def inject(self, db, rng) -> str:
+        if self.node_name is not None:
+            self._victim = db.node(self.node_name)
+        else:
+            candidates = self._candidates(db)
+            if not candidates:
+                return f"no live {self.kind} to crash"
+            self._victim = rng.choice(candidates)
+        self._victim.fail()
+        return f"crash {self._victim.name}"
+
+    def heal(self, db) -> None:
+        if self._victim is not None:
+            self._victim.recover()
+            self._victim = None
+
+
+# ----------------------------------------------------------------------
+# Clock anomalies
+# ----------------------------------------------------------------------
+class ClockDriftBurst(Injector):
+    """Multiply one region's clock drift by ``factor``.
+
+    Both the actual drift rate *and* the advertised ``max_drift_ppm``
+    bound are scaled, so the fault models honestly-noisier hardware: error
+    bounds (and hence GClock commit waits) grow, but external consistency
+    must survive. Lying about the bound (drift beyond ``max_drift_ppm``)
+    would be a different experiment — one where the checker *should* find
+    violations.
+    """
+
+    name = "clock-drift-burst"
+
+    def __init__(self, region: str, factor: float = 8.0):
+        self.region = region
+        self.factor = factor
+        self._saved: list = []
+
+    def inject(self, db, rng) -> str:
+        self._saved = []
+        for node in sorted((node for node in db.all_nodes()
+                            if node.region == self.region),
+                           key=lambda node: node.name):
+            clock = node.clock
+            self._saved.append((clock, clock.max_drift_ppm, clock._drift_ppm))
+            clock.max_drift_ppm = clock.max_drift_ppm * self.factor
+            sign = 1 if rng.random() < 0.5 else -1
+            clock._drift_ppm = sign * clock.max_drift_ppm
+        return f"{self.region} drift x{self.factor:g}"
+
+    def heal(self, db) -> None:
+        for clock, max_ppm, drift_ppm in self._saved:
+            clock.max_drift_ppm = max_ppm
+            clock._drift_ppm = drift_ppm
+        self._saved = []
+
+
+class ClockStep(Injector):
+    """Step one node's clock by a bounded jump.
+
+    The step is kept inside the sync residual envelope (under half the
+    sync RTT), so the clock stays within its advertised error bound and
+    correctness must hold; the next sync-daemon anchor absorbs the jump,
+    which is the deterministic heal.
+    """
+
+    name = "clock-step"
+
+    def __init__(self, step_us: float = 20.0, region: str | None = None):
+        self.step_ns = us(step_us)
+        self.region = region
+
+    def inject(self, db, rng) -> str:
+        nodes = sorted((node for node in db.all_nodes()
+                        if self.region is None or node.region == self.region),
+                       key=lambda node: node.name)
+        if not nodes:
+            return "no node to step"
+        victim = rng.choice(nodes)
+        delta = self.step_ns if rng.random() < 0.5 else -self.step_ns
+        victim.clock.step(delta)
+        return f"{victim.name} stepped {delta / 1e3:+.0f}us"
+
+    def heal(self, db) -> None:
+        # The sync daemon re-anchors at its next period boundary; nothing
+        # to undo here (undoing the step would itself be a second step).
+        return
+
+
+class SyncOutage(Injector):
+    """Fail one region's global time device: syncs stop succeeding and
+    every clock in the region ages against its drift bound, growing
+    ``T_err`` — commit waits lengthen but stay correct (§III)."""
+
+    name = "sync-outage"
+
+    def __init__(self, region: str):
+        self.region = region
+
+    def inject(self, db, rng) -> str:
+        db.devices[self.region].fail()
+        return f"time device {self.region} down"
+
+    def heal(self, db) -> None:
+        db.devices[self.region].recover()
+
+
+# ----------------------------------------------------------------------
+# GTM outage and migration under fire
+# ----------------------------------------------------------------------
+class GtmOutage(Injector):
+    """Take the GTM server off the network.
+
+    In GClock mode this must be harmless (the paper's availability
+    argument); in GTM/DUAL mode transactions abort until it heals.
+    """
+
+    name = "gtm-outage"
+
+    def inject(self, db, rng) -> str:
+        db.network.set_endpoint_up(db.gtm.name, False)
+        return f"{db.gtm.name} down"
+
+    def heal(self, db) -> None:
+        db.network.set_endpoint_up(db.gtm.name, True)
+
+
+class MigrationUnderFire(Injector):
+    """Round-trip the cluster's timestamp mode while other faults rage.
+
+    From GClock the trip is GClock→(DUAL)→GTM→(DUAL)→GClock; from GTM it
+    is the reverse. The migration runs in a supervised process — a failed
+    leg (e.g. the GTM outage overlapping a DUAL entry) is recorded, not
+    fatal. Self-healing: ``heal`` is a no-op, completion is the heal.
+    """
+
+    name = "migration-under-fire"
+
+    def __init__(self):
+        self.reports: list = []
+        self.errors: list[str] = []
+        self._process = None
+
+    def inject(self, db, rng) -> str:
+        from repro.errors import ReproError
+        from repro.txn.modes import TxnMode
+
+        start_mode = db.gtm.mode
+
+        def round_trip():
+            legs = ([db.migration.to_gtm, db.migration.to_gclock]
+                    if start_mode is not TxnMode.GTM
+                    else [db.migration.to_gclock, db.migration.to_gtm])
+            for leg in legs:
+                try:
+                    report = yield from leg()
+                    self.reports.append(report)
+                except ReproError as exc:
+                    self.errors.append(f"{leg.__name__}: {exc}")
+                    return
+
+        self._process = db.env.process(round_trip(), name="chaos-migration")
+        return f"mode round trip from {start_mode}"
+
+    def heal(self, db) -> None:
+        return

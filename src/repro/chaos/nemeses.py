@@ -1,0 +1,144 @@
+"""Named nemesis presets.
+
+Each preset is a function ``(db) -> FaultSchedule`` so schedules can adapt
+to the cluster's topology (region names, replica counts). Timings are
+expressed in sim-seconds from nemesis start and are tuned for the
+``repro.check`` runner's default ~1.75 s window: every windowed fault
+heals before the workload stops, and the checker demands a clean bill of
+health afterwards.
+
+The **default** preset is the acceptance gate: it strings together every
+fault family the paper's claims must survive — link degradation, a WAN
+partition with a mode migration running *through* it, a replica crash with
+redo catch-up, clock-drift and time-device anomalies, a GTM outage (which
+GClock mode must shrug off), and a bounded clock step.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.chaos.injectors import (
+    AsymmetricPartition,
+    BandwidthCollapse,
+    ClockDriftBurst,
+    ClockStep,
+    GtmOutage,
+    JitterStorm,
+    LatencySpike,
+    MigrationUnderFire,
+    NodeCrash,
+    RegionPartition,
+    RegionSplit,
+    SyncOutage,
+)
+from repro.chaos.schedule import FaultSchedule, FaultSpec, Nemesis
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.builder import GlobalDB
+
+
+def _regions(db: "GlobalDB") -> list[str]:
+    return list(db.config.topology.regions)
+
+
+def default_schedule(db: "GlobalDB") -> FaultSchedule:
+    regions = _regions(db)
+    specs = [
+        FaultSpec(LatencySpike(extra_ms=20.0), at_s=0.20, duration_s=0.25),
+    ]
+    if len(regions) >= 2:
+        specs += [
+            FaultSpec(RegionPartition(regions[0], regions[-1]),
+                      at_s=0.55, duration_s=0.25),
+            FaultSpec(MigrationUnderFire(), at_s=0.60),
+            FaultSpec(ClockDriftBurst(regions[1 % len(regions)], factor=8.0),
+                      at_s=1.00, duration_s=0.30),
+            FaultSpec(SyncOutage(regions[0]), at_s=1.35, duration_s=0.20),
+        ]
+    specs += [
+        FaultSpec(NodeCrash("replica"), at_s=0.90, duration_s=0.30),
+        FaultSpec(GtmOutage(), at_s=1.35, duration_s=0.25),
+        FaultSpec(ClockStep(step_us=20.0), at_s=1.55),
+    ]
+    return FaultSchedule("default", tuple(specs))
+
+
+def partitions_schedule(db: "GlobalDB") -> FaultSchedule:
+    regions = _regions(db)
+    specs: list[FaultSpec] = []
+    if len(regions) >= 2:
+        specs = [
+            FaultSpec(RegionPartition(regions[0], regions[-1]),
+                      at_s=0.25, duration_s=0.20, every_s=0.60, repeat=2),
+            FaultSpec(AsymmetricPartition(regions[-1], regions[0]),
+                      at_s=0.55, duration_s=0.20),
+            FaultSpec(RegionSplit(regions[0]), at_s=1.15, duration_s=0.20),
+        ]
+    return FaultSchedule("partitions", tuple(specs))
+
+
+def degradation_schedule(db: "GlobalDB") -> FaultSchedule:
+    return FaultSchedule("degradation", (
+        FaultSpec(LatencySpike(extra_ms=30.0), at_s=0.20, duration_s=0.30),
+        FaultSpec(JitterStorm(jitter_ms=5.0), at_s=0.60, duration_s=0.30),
+        FaultSpec(BandwidthCollapse(factor=200.0), at_s=1.00, duration_s=0.30),
+    ))
+
+
+def crash_schedule(db: "GlobalDB") -> FaultSchedule:
+    return FaultSchedule("crash", (
+        FaultSpec(NodeCrash("replica"), at_s=0.25, duration_s=0.30),
+        FaultSpec(NodeCrash("replica"), at_s=0.75, duration_s=0.30),
+        FaultSpec(NodeCrash("cn"), at_s=1.15, duration_s=0.25),
+    ))
+
+
+def clocks_schedule(db: "GlobalDB") -> FaultSchedule:
+    regions = _regions(db)
+    return FaultSchedule("clocks", (
+        FaultSpec(ClockDriftBurst(regions[0], factor=10.0),
+                  at_s=0.20, duration_s=0.40),
+        FaultSpec(SyncOutage(regions[-1]), at_s=0.70, duration_s=0.25),
+        FaultSpec(ClockStep(step_us=25.0), at_s=1.05,
+                  every_s=0.25, repeat=3),
+    ))
+
+
+def gtm_schedule(db: "GlobalDB") -> FaultSchedule:
+    return FaultSchedule("gtm", (
+        FaultSpec(GtmOutage(), at_s=0.25, duration_s=0.35),
+        FaultSpec(MigrationUnderFire(), at_s=0.75),
+        FaultSpec(GtmOutage(), at_s=1.30, duration_s=0.25),
+    ))
+
+
+def none_schedule(db: "GlobalDB") -> FaultSchedule:
+    """A fault-free control run (the checker should still pass)."""
+    return FaultSchedule("none", ())
+
+
+NEMESES: dict[str, typing.Callable[["GlobalDB"], FaultSchedule]] = {
+    "default": default_schedule,
+    "partitions": partitions_schedule,
+    "degradation": degradation_schedule,
+    "crash": crash_schedule,
+    "clocks": clocks_schedule,
+    "gtm": gtm_schedule,
+    "none": none_schedule,
+}
+
+
+def available_nemeses() -> list[str]:
+    return sorted(NEMESES)
+
+
+def make_nemesis(name: str, db: "GlobalDB") -> Nemesis:
+    """Build (not start) the named nemesis against ``db``."""
+    try:
+        builder = NEMESES[name]
+    except KeyError:
+        raise ValueError(f"unknown nemesis {name!r} "
+                         f"(available: {', '.join(available_nemeses())})") \
+            from None
+    return Nemesis(db, builder(db))

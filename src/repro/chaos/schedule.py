@@ -1,0 +1,159 @@
+"""The nemesis schedule DSL and driver.
+
+A :class:`FaultSpec` binds an injector to a timing shape:
+
+- **one-shot**: ``at_s`` only — inject once, never heal from the schedule
+  (e.g. a clock step, whose heal is the next sync anchor).
+- **windowed**: ``at_s`` + ``duration_s`` — inject, hold, heal.
+- **periodic**: add ``every_s``/``repeat`` — the window recurs.
+
+A :class:`FaultSchedule` is a named, ordered tuple of specs; a
+:class:`Nemesis` binds a schedule to a cluster and drives it from
+simulation processes. Every injector draws randomness from its own seeded
+``chaos:`` stream (derived from the cluster seed, the schedule name and
+the spec's position), so one ``(config.seed, schedule)`` pair produces
+exactly one fault history — re-running is bit-identical, which is what
+lets ``tests/test_chaos.py`` and the CI chaos smoke pin digests.
+
+The driver emits ``chaos.*`` observability on every action (a trace
+instant and a time-series mark — both passive) and keeps an event log;
+:meth:`Nemesis.quiesce` heals anything still active so the cluster always
+leaves the run clean.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing
+from dataclasses import dataclass, field
+
+from repro.chaos.injectors import Injector
+from repro.sim.rand import RandomStreams
+from repro.sim.units import seconds
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.builder import GlobalDB
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injector with a timing shape (see module docstring)."""
+
+    injector: Injector
+    at_s: float
+    duration_s: float = 0.0
+    every_s: float | None = None
+    repeat: int = 1
+
+    def __post_init__(self):
+        if self.repeat > 1 and self.every_s is None:
+            raise ValueError("periodic FaultSpec needs every_s")
+        if self.every_s is not None and self.every_s <= self.duration_s:
+            raise ValueError("every_s must exceed duration_s "
+                             "(windows must not overlap themselves)")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named composition of fault specs."""
+
+    name: str
+    specs: tuple[FaultSpec, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+
+@dataclass
+class ChaosEvent:
+    """One nemesis action, for logs/tests/digests."""
+
+    at_ns: int
+    fault: str
+    action: str   # "inject" | "heal" | "quiesce"
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"at_ns": self.at_ns, "fault": self.fault,
+                "action": self.action, "detail": self.detail}
+
+
+class Nemesis:
+    """Drives a :class:`FaultSchedule` against a running cluster."""
+
+    def __init__(self, db: "GlobalDB", schedule: FaultSchedule):
+        self.db = db
+        self.schedule = schedule
+        self.events: list[ChaosEvent] = []
+        self._streams = RandomStreams(db.config.seed)
+        self._active: dict[int, Injector] = {}
+        self._processes: list = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Nemesis":
+        """Spawn one driver process per spec (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        for index, spec in enumerate(self.schedule.specs):
+            rng = self._streams.stream(
+                f"chaos:{self.schedule.name}:{index}:{spec.injector.name}")
+            self._processes.append(self.db.env.process(
+                self._drive(index, spec, rng),
+                name=f"nemesis:{spec.injector.name}:{index}"))
+        return self
+
+    def _drive(self, index: int, spec: FaultSpec, rng):
+        env = self.db.env
+        yield env.timeout(max(0, seconds(spec.at_s)))
+        for occurrence in range(spec.repeat):
+            detail = spec.injector.inject(self.db, rng)
+            self._record("inject", spec.injector, detail)
+            if spec.duration_s > 0:
+                # One-shot faults (duration 0) are fire-and-forget: their
+                # heal is a no-op, so they never count as "active".
+                self._active[index] = spec.injector
+                yield env.timeout(seconds(spec.duration_s))
+                self._heal(index, spec.injector)
+            if occurrence + 1 < spec.repeat:
+                yield env.timeout(seconds(spec.every_s - spec.duration_s))
+
+    def _heal(self, index: int, injector: Injector,
+              action: str = "heal") -> None:
+        injector.heal(self.db)
+        self._active.pop(index, None)
+        self._record(action, injector, "")
+
+    def _record(self, action: str, injector: Injector, detail: str) -> None:
+        env = self.db.env
+        self.events.append(ChaosEvent(at_ns=env.now, fault=injector.name,
+                                      action=action, detail=detail))
+        if env.trace_on:
+            env.tracer.instant("chaos", f"{injector.name}:{action}",
+                               track="nemesis", detail=detail)
+        if env.series_on:
+            env.series.mark("chaos.fault", fault=injector.name,
+                            action=action)
+
+    # ------------------------------------------------------------------
+    def quiesce(self) -> int:
+        """Heal every still-active fault (after the run, outside sim
+        processes). Returns how many faults needed healing — zero when
+        the schedule healed everything itself."""
+        healed = 0
+        for index in sorted(self._active):
+            self._heal(index, self._active[index], action="quiesce")
+            healed += 1
+        return healed
+
+    @property
+    def active_faults(self) -> list[str]:
+        return [self._active[index].name for index in sorted(self._active)]
+
+    def digest(self) -> str:
+        """Stable digest over the event log (determinism proofs)."""
+        payload = "\n".join(
+            f"{event.at_ns}|{event.fault}|{event.action}|{event.detail}"
+            for event in self.events)
+        return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,51 @@
+"""``repro.check``: Jepsen-style history recording and consistency checking.
+
+The companion of :mod:`repro.chaos`: while the nemesis attacks the
+cluster, a passive :class:`~repro.check.history.HistoryRecorder` (attached
+as ``env.history``) logs every client operation — invoke, ok, fail, or
+info (outcome unknown) — with commit timestamps and read snapshots. After
+the run, offline checkers (:mod:`repro.check.checkers`) test the paper's
+claims against the recorded history: external consistency of GClock
+commit timestamps, snapshot-isolation anomalies (lost update, write
+cycles) over per-account version chains, the ROR staleness bound and
+read-your-writes floor, and bank balance conservation.
+
+``python -m repro.check run --nemesis default --seeds 3`` is the
+end-to-end entry point (see :mod:`repro.check.runner`); it exits nonzero
+on any violation, with a JSON artifact for CI.
+"""
+
+from repro.check.checkers import (
+    CheckReport,
+    Violation,
+    check_balance,
+    check_external_consistency,
+    check_lost_update,
+    check_staleness,
+    check_write_cycles,
+    run_all_checks,
+)
+from repro.check.history import (
+    History,
+    HistoryRecorder,
+    Op,
+    maybe_install,
+)
+from repro.check.runner import run_many, run_seed
+
+__all__ = [
+    "Op",
+    "History",
+    "HistoryRecorder",
+    "maybe_install",
+    "Violation",
+    "CheckReport",
+    "check_external_consistency",
+    "check_lost_update",
+    "check_write_cycles",
+    "check_staleness",
+    "check_balance",
+    "run_all_checks",
+    "run_seed",
+    "run_many",
+]

@@ -1,0 +1,308 @@
+"""Offline consistency checkers over recorded histories.
+
+Each checker replays a :class:`~repro.check.history.History` against one
+of the paper's correctness claims and yields :class:`Violation` records:
+
+- **external consistency** — GClock commit-wait promises *strict* real-time
+  order: if transaction A completed before B was invoked, B's commit
+  timestamp must be strictly greater than A's. The check is a prefix-max
+  sweep over completion time, O(n log n).
+- **lost update** — per-account version chains: every committed transfer
+  records the balance it read (``before``) and wrote (``after``); in
+  commit-timestamp order each write must read its predecessor's value.
+  Two writers consuming the same ``before`` is the classic lost update.
+- **write cycle (G0)** — per-account write orders (recovered from value
+  adjacency, commit-ts order as tiebreak) are merged into one precedence
+  graph; any cycle means two transactions installed their writes in
+  opposite orders on different keys, which snapshot isolation forbids.
+- **staleness bound / read-your-writes** — strongly-consistent replica
+  reads (``use_ror``) must pin a snapshot no older than the CN's RCP minus
+  the advertised staleness bound, and never below the session's
+  read-your-writes floor.
+- **balance conservation** — any snapshot covering every account must sum
+  to ``accounts * initial_balance``: transfers move money, never mint it.
+
+Transactions with *unknown* outcome (``info``, or still in-flight at
+shutdown) may or may not have taken effect; accounts they touched are
+excluded ("tainted") from the value-chain checkers rather than guessed
+at, and the report counts how much was skipped so a run drowning in
+unknowns cannot masquerade as a clean one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.history import History, Op
+
+
+@dataclass
+class Violation:
+    """One concrete consistency violation, with the evidence."""
+
+    checker: str
+    message: str
+    ops: tuple[int, ...] = ()   # history indices of the implicated ops
+
+    def to_dict(self) -> dict:
+        return {"checker": self.checker, "message": self.message,
+                "ops": list(self.ops)}
+
+
+@dataclass
+class CheckReport:
+    """Aggregated result of every checker over one history."""
+
+    violations: list[Violation] = field(default_factory=list)
+    checked: dict[str, int] = field(default_factory=dict)
+    skipped: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def extend(self, checker: str, violations: list[Violation],
+               checked: int, skipped: int = 0) -> None:
+        self.violations.extend(violations)
+        self.checked[checker] = checked
+        if skipped:
+            self.skipped[checker] = skipped
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok,
+                "violations": [v.to_dict() for v in self.violations],
+                "checked": self.checked, "skipped": self.skipped}
+
+
+# ----------------------------------------------------------------------
+# External consistency
+# ----------------------------------------------------------------------
+def check_external_consistency(history: History) -> tuple[list[Violation], int]:
+    """Commit-ts order must refine real-time order of non-overlapping txns."""
+    committed = [op for op in history.committed() if op.complete_ns >= 0]
+    violations: list[Violation] = []
+    if len(committed) < 2:
+        return violations, len(committed)
+
+    by_complete = sorted(committed, key=lambda op: (op.complete_ns, op.index))
+    by_invoke = sorted(committed, key=lambda op: (op.invoke_ns, op.index))
+    # Prefix-max sweep: for each txn B (invoke order), the largest commit
+    # timestamp among txns that completed strictly before B began.
+    pointer = 0
+    max_ts = -1
+    max_op: Op | None = None
+    for op_b in by_invoke:
+        while (pointer < len(by_complete)
+               and by_complete[pointer].complete_ns < op_b.invoke_ns):
+            op_a = by_complete[pointer]
+            if op_a.commit_ts > max_ts:
+                max_ts, max_op = op_a.commit_ts, op_a
+            pointer += 1
+        if max_op is not None and max_op is not op_b and max_ts >= op_b.commit_ts:
+            violations.append(Violation(
+                "external-consistency",
+                f"op {max_op.index} completed at {max_op.complete_ns}ns with "
+                f"commit_ts={max_ts} but op {op_b.index} invoked later "
+                f"(at {op_b.invoke_ns}ns) got commit_ts={op_b.commit_ts}",
+                ops=(max_op.index, op_b.index)))
+    return violations, len(committed)
+
+
+# ----------------------------------------------------------------------
+# Per-account version chains (lost update / write cycles)
+# ----------------------------------------------------------------------
+def _account_writes(history: History) -> tuple[dict[str, list[tuple[Op, int, int]]], set[str]]:
+    """account -> [(op, before, after)] from committed transfers, plus the
+    set of accounts tainted by unknown-outcome transfers."""
+    writes: dict[str, list[tuple[Op, int, int]]] = {}
+    for op in history.committed("transfer"):
+        for account, pair in op.value.get("writes", {}).items():
+            writes.setdefault(account, []).append((op, pair[0], pair[1]))
+    tainted: set[str] = set()
+    for op in history.unknown("transfer"):
+        tainted.update(op.value.get("writes", {}))
+        tainted.update(op.value.get("accounts", ()))
+    return writes, tainted
+
+
+def check_lost_update(history: History,
+                      initial_balance: int | None = None,
+                      ) -> tuple[list[Violation], int, int]:
+    violations: list[Violation] = []
+    writes, tainted = _account_writes(history)
+    checked = skipped = 0
+    for account in sorted(writes):
+        entries = writes[account]
+        if account in tainted:
+            skipped += len(entries)
+            continue
+        checked += len(entries)
+        entries = sorted(entries, key=lambda e: (e[0].commit_ts, e[0].index))
+        previous = initial_balance
+        previous_op: Op | None = None
+        for op, before, after in entries:
+            if previous is not None and before != previous:
+                implicated = (previous_op.index, op.index) \
+                    if previous_op is not None else (op.index,)
+                violations.append(Violation(
+                    "lost-update",
+                    f"account {account}: op {op.index} "
+                    f"(commit_ts={op.commit_ts}) read balance {before} but "
+                    f"the previous committed value was {previous}",
+                    ops=implicated))
+            previous = after
+            previous_op = op
+    return violations, checked, skipped
+
+
+def _chain_order(entries: list[tuple[Op, int, int]]) -> list[Op]:
+    """Recover the write order on one account from value adjacency
+    (``after`` of one write == ``before`` of the next); fall back to
+    commit-ts order when the values don't form a single clean chain."""
+    by_before: dict[int, tuple[Op, int, int]] = {}
+    afters = set()
+    for entry in entries:
+        if entry[1] in by_before:     # duplicated 'before': ambiguous
+            return [e[0] for e in sorted(
+                entries, key=lambda e: (e[0].commit_ts, e[0].index))]
+        by_before[entry[1]] = entry
+        afters.add(entry[2])
+    roots = [e for e in entries if e[1] not in afters]
+    if len(roots) != 1:
+        return [e[0] for e in sorted(
+            entries, key=lambda e: (e[0].commit_ts, e[0].index))]
+    chain = [roots[0]]
+    while chain[-1][2] in by_before and len(chain) < len(entries):
+        chain.append(by_before[chain[-1][2]])
+    if len(chain) != len(entries):
+        return [e[0] for e in sorted(
+            entries, key=lambda e: (e[0].commit_ts, e[0].index))]
+    return [e[0] for e in chain]
+
+
+def check_write_cycles(history: History) -> tuple[list[Violation], int, int]:
+    """Merge per-account write orders; a cycle is a G0 anomaly."""
+    writes, tainted = _account_writes(history)
+    edges: dict[int, set[int]] = {}
+    checked = skipped = 0
+    for account in sorted(writes):
+        entries = writes[account]
+        if account in tainted:
+            skipped += len(entries)
+            continue
+        checked += len(entries)
+        chain = _chain_order(entries)
+        for earlier, later in zip(chain, chain[1:]):
+            if earlier.index != later.index:
+                edges.setdefault(earlier.index, set()).add(later.index)
+
+    violations: list[Violation] = []
+    # Iterative 3-color DFS over the precedence graph.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = dict.fromkeys(edges, WHITE)
+    for start in sorted(edges):
+        if color.get(start, WHITE) != WHITE:
+            continue
+        stack: list[tuple[int, list[int]]] = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            if node == -1:      # post-visit marker
+                color[path[-1]] = BLACK
+                continue
+            if color.get(node, WHITE) == GRAY:
+                continue
+            color[node] = GRAY
+            stack.append((-1, [node]))
+            for succ in sorted(edges.get(node, ())):
+                state = color.get(succ, WHITE)
+                if state == GRAY and succ in path:
+                    cycle = path[path.index(succ):] + [succ]
+                    violations.append(Violation(
+                        "write-cycle",
+                        "write-order cycle (G0): "
+                        + " -> ".join(str(i) for i in cycle),
+                        ops=tuple(cycle[:-1])))
+                elif state == WHITE:
+                    stack.append((succ, path + [succ]))
+    return violations, checked, skipped
+
+
+# ----------------------------------------------------------------------
+# Replica-read staleness / read-your-writes
+# ----------------------------------------------------------------------
+def check_staleness(history: History) -> tuple[list[Violation], int]:
+    """ROR snapshots must honor the advertised staleness bound and floor."""
+    violations: list[Violation] = []
+    checked = 0
+    for op in history.ok_reads():
+        value = op.value
+        if not value.get("use_ror") or op.read_ts < 0:
+            continue
+        checked += 1
+        rcp = value.get("rcp", -1)
+        bound_ns = value.get("bound_ns")
+        floor = value.get("floor", 0)
+        if bound_ns is not None and rcp >= 0 and op.read_ts < rcp - bound_ns:
+            violations.append(Violation(
+                "staleness-bound",
+                f"op {op.index}: ROR snapshot read_ts={op.read_ts} is "
+                f"{rcp - op.read_ts}ns behind the CN's RCP ({rcp}) — "
+                f"exceeds the advertised bound of {bound_ns}ns",
+                ops=(op.index,)))
+        if op.read_ts < floor:
+            violations.append(Violation(
+                "read-your-writes",
+                f"op {op.index}: snapshot read_ts={op.read_ts} is below the "
+                f"session's last-commit floor {floor}",
+                ops=(op.index,)))
+    return violations, checked
+
+
+# ----------------------------------------------------------------------
+# Balance conservation
+# ----------------------------------------------------------------------
+def check_balance(history: History, accounts: int,
+                  initial_balance: int) -> tuple[list[Violation], int]:
+    """Every full snapshot of the bank must total accounts * initial."""
+    expected = accounts * initial_balance
+    violations: list[Violation] = []
+    checked = 0
+    for op in history.ok_reads():
+        balances = op.value.get("balances")
+        if not balances or len(balances) != accounts:
+            continue
+        checked += 1
+        total = sum(balances.values())
+        if total != expected:
+            violations.append(Violation(
+                "balance-conservation",
+                f"op {op.index}: snapshot at read_ts={op.read_ts} totals "
+                f"{total}, expected {expected} "
+                f"({accounts} accounts x {initial_balance})",
+                ops=(op.index,)))
+    return violations, checked
+
+
+# ----------------------------------------------------------------------
+def run_all_checks(history: History, accounts: int | None = None,
+                   initial_balance: int | None = None) -> CheckReport:
+    """Run every checker; bank-shape checkers need the workload params."""
+    report = CheckReport()
+
+    violations, checked = check_external_consistency(history)
+    report.extend("external-consistency", violations, checked)
+
+    violations, checked, skipped = check_lost_update(history, initial_balance)
+    report.extend("lost-update", violations, checked, skipped)
+
+    violations, checked, skipped = check_write_cycles(history)
+    report.extend("write-cycle", violations, checked, skipped)
+
+    violations, checked = check_staleness(history)
+    report.extend("staleness", violations, checked)
+
+    if accounts is not None and initial_balance is not None:
+        violations, checked = check_balance(history, accounts, initial_balance)
+        report.extend("balance-conservation", violations, checked)
+
+    return report

@@ -1,0 +1,161 @@
+"""End-to-end chaos + consistency runs.
+
+One :func:`run_seed` call is a complete Jepsen-style experiment inside the
+simulator: build a three-city GlobalDB cluster (auto-failover on), install
+a history recorder, drive the bank workload from closed-loop terminals
+while a named nemesis (:mod:`repro.chaos`) attacks the cluster, quiesce,
+let recovery settle, take a final guarded audit, and run every checker
+over the recorded history. Because the whole experiment is one seeded
+discrete-event simulation, a ``(seed, nemesis)`` pair is perfectly
+reproducible — a violation found in CI replays locally, bit for bit.
+
+:func:`run_many` sweeps seeds and aggregates into the JSON artifact shape
+the CLI (``python -m repro.check``) and the CI chaos-smoke step consume.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.chaos import make_nemesis
+from repro.check.checkers import run_all_checks
+from repro.check.history import HistoryRecorder
+from repro.errors import ReproError
+from repro.sim.units import seconds
+
+DEFAULT_DURATION_S = 1.75
+DEFAULT_WARMUP_S = 0.10
+SETTLE_S = 0.40
+FINAL_AUDIT_TIMEOUT_S = 0.50
+BANK_TABLE = "bank"
+
+
+def run_seed(seed: int, nemesis: str = "default",
+             duration_s: float = DEFAULT_DURATION_S,
+             warmup_s: float = DEFAULT_WARMUP_S,
+             terminals: int = 6, accounts: int = 16,
+             trace: bool = False) -> dict:
+    """Run one chaos experiment; returns a JSON-able result dict."""
+    from repro import ClusterConfig, build_cluster, three_city
+    from repro.workloads import BankConfig, BankWorkload, run_workload
+
+    config = ClusterConfig.globaldb(
+        three_city(), seed=seed, auto_failover=True, trace_enabled=trace)
+    db = build_cluster(config)
+    recorder = HistoryRecorder(db.env).install()
+    bank_config = BankConfig(accounts=accounts, seed=seed * 1_000_003 + 17)
+    workload = BankWorkload(bank_config)
+    chaos = make_nemesis(nemesis, db)
+    chaos.start()
+    result = run_workload(db, workload, terminals=terminals,
+                          duration_s=duration_s, warmup_s=warmup_s)
+    healed = chaos.quiesce()
+    # Let crash recovery, redo replay and RCP collection settle with the
+    # faults gone before auditing the final state.
+    db.env.run_for(seconds(SETTLE_S))
+    final_audit = _final_audit(db, recorder, bank_config)
+
+    history = recorder.history()
+    report = run_all_checks(history, accounts=bank_config.accounts,
+                            initial_balance=bank_config.initial_balance)
+    statuses: dict[str, int] = {}
+    for op in history:
+        statuses[op.status] = statuses.get(op.status, 0) + 1
+    return {
+        "seed": seed,
+        "nemesis": nemesis,
+        "ok": report.ok,
+        "violations": [violation.to_dict()
+                       for violation in report.violations],
+        "checked": report.checked,
+        "skipped": report.skipped,
+        "ops": statuses,
+        "committed": result.stats.committed,
+        "aborted": result.stats.aborted,
+        "transfers": workload.transfers,
+        "audits": workload.audits,
+        "chaos_events": len(chaos.events),
+        "chaos_quiesced": healed,
+        "chaos_digest": chaos.digest(),
+        "history_digest": history.digest(),
+        "failovers": len(db.failover.events) if db.failover else 0,
+        "final_audit": final_audit,
+        **({"trace_digest": db.env.tracer.digest(),
+            "trace_spans": len(db.env.tracer.spans)} if trace else {}),
+    }
+
+
+def _final_audit(db, recorder: HistoryRecorder, bank_config) -> str:
+    """One last full-table read after quiesce, recorded into the history.
+
+    Guarded by a timeout: a transaction left in-doubt by the nemesis (a
+    2PC finish lost to a partition) parks readers at higher snapshots
+    forever, and the audit must not hang the harness with it. A blocked
+    or failed audit is reported but is not itself a violation — the
+    checkers judge only completed operations.
+    """
+    env = db.env
+    cn = db.cns[0]
+    op = recorder.invoke("final-audit", "read", {"floor": 0})
+
+    outcome = {"status": "blocked"}
+
+    def audit():
+        try:
+            read_ts, use_ror = yield from cn.ro_snapshot(
+                [BANK_TABLE], min_read_ts=0)
+            rows = yield from cn._ro_fanout([
+                cn.g_ro_read(read_ts, use_ror, BANK_TABLE, (account,))
+                for account in range(bank_config.accounts)
+            ])
+        except ReproError as exc:
+            outcome.update(status="failed", error=str(exc))
+            return
+        balances = {str(account): row["balance"]
+                    for account, row in enumerate(rows) if row is not None}
+        outcome.update(status="ok", read_ts=read_ts, use_ror=use_ror,
+                       balances=balances)
+
+    process = env.process(audit(), name="final-audit")
+    env.run(until=env.any_of([process,
+                              env.timeout(seconds(FINAL_AUDIT_TIMEOUT_S))]))
+    if outcome["status"] == "ok":
+        if len(outcome["balances"]) == bank_config.accounts:
+            recorder.ok(op, read_ts=outcome["read_ts"],
+                        use_ror=outcome["use_ror"],
+                        balances=outcome["balances"])
+        else:
+            recorder.fail(op, "final audit missing rows")
+            return "missing-rows"
+    else:
+        recorder.fail(op, outcome.get("error", outcome["status"]))
+    return outcome["status"]
+
+
+def run_many(seeds: typing.Sequence[int], nemesis: str = "default",
+             duration_s: float = DEFAULT_DURATION_S,
+             warmup_s: float = DEFAULT_WARMUP_S,
+             terminals: int = 6, accounts: int = 16,
+             echo: typing.Callable[[str], None] | None = None) -> dict:
+    """Run the experiment across ``seeds``; aggregate for the artifact."""
+    runs = []
+    for seed in seeds:
+        run = run_seed(seed, nemesis=nemesis, duration_s=duration_s,
+                       warmup_s=warmup_s, terminals=terminals,
+                       accounts=accounts)
+        runs.append(run)
+        if echo is not None:
+            status = "ok" if run["ok"] else \
+                f"{len(run['violations'])} VIOLATION(S)"
+            echo(f"seed {seed}: {status} "
+                 f"({run['committed']} committed, {run['aborted']} aborted, "
+                 f"{run['chaos_events']} chaos events, "
+                 f"final audit {run['final_audit']})")
+    violations = sum(len(run["violations"]) for run in runs)
+    return {
+        "nemesis": nemesis,
+        "seeds": list(seeds),
+        "ok": violations == 0,
+        "violation_count": violations,
+        "runs": runs,
+    }

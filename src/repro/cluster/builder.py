@@ -112,7 +112,8 @@ class GlobalDB:
                  replicas: dict[int, list[DataNode]],
                  shippers: list[LogShipper], shard_map: ShardMap,
                  migration: MigrationCoordinator,
-                 failover: FailoverManager | None = None):
+                 failover: FailoverManager | None = None,
+                 devices: dict[str, GlobalTimeDevice] | None = None):
         self.config = config
         self.env = env
         self.network = network
@@ -124,6 +125,9 @@ class GlobalDB:
         self.shard_map = shard_map
         self.migration = migration
         self.failover = failover
+        #: region -> GlobalTimeDevice, the clock-fault injection surface
+        #: used by repro.chaos (SyncOutage and friends).
+        self.devices = devices or {}
         self._session_rr = 0
 
     # ------------------------------------------------------------------
@@ -447,4 +451,5 @@ def build_cluster(config: ClusterConfig) -> GlobalDB:
         failover.start()
 
     return GlobalDB(config, env, network, gtm, cns, primaries, replicas,
-                    shippers, shard_map, migration, failover=failover)
+                    shippers, shard_map, migration, failover=failover,
+                    devices=devices)

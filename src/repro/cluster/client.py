@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.errors import TransactionAborted
+from repro.errors import CommitOutcomeUnknown, TransactionAborted
 from repro.sim.units import ms
 from repro.storage.catalog import ColumnDef, DistributionSpec, TableSchema
 
@@ -35,6 +35,8 @@ class Session:
         #: Read-only queries fall back to primary reads until the RCP
         #: covers it, so a session always sees its own commits.
         self.last_commit_ts = 0
+        # Current history op when a recorder is installed (repro.check).
+        self._history_op = None
 
     # ------------------------------------------------------------------
     def _run(self, generator) -> typing.Any:
@@ -57,22 +59,42 @@ class Session:
         """Start a read-write transaction."""
         if self.in_txn:
             raise TransactionAborted("transaction already in progress")
+        recorder = self.db.env.history
+        if recorder is not None:
+            self._history_op = recorder.invoke(f"session:{self.cn.name}",
+                                               "txn")
         self._ctx = self._run(self.cn.g_begin())
 
     def commit(self) -> int:
         """Commit; returns the commit timestamp."""
         ctx = self._require_txn()
+        recorder, op = self.db.env.history, self._history_op
         try:
             wrote = bool(ctx.write_shards)
             ts = self._run(self.cn.g_commit(ctx))
             if wrote and ts > self.last_commit_ts:
                 self.last_commit_ts = ts
+            if recorder is not None and op is not None:
+                recorder.ok(op, commit_ts=ts)
             return ts
+        except CommitOutcomeUnknown as exc:
+            if recorder is not None and op is not None:
+                recorder.info(op, str(exc))
+            raise
+        except TransactionAborted as exc:
+            if recorder is not None and op is not None:
+                recorder.fail(op, str(exc))
+            raise
         finally:
             self._ctx = None
+            self._history_op = None
 
     def rollback(self) -> None:
         ctx = self._require_txn()
+        recorder, op = self.db.env.history, self._history_op
+        if recorder is not None and op is not None:
+            recorder.fail(op, "rollback")
+        self._history_op = None
         self._run(self.cn.g_abort(ctx))
         self._ctx = None
 

@@ -23,6 +23,7 @@ import typing
 from dataclasses import dataclass, field
 
 from repro.errors import (
+    CommitOutcomeUnknown,
     NetworkError,
     ReplicaUnavailableError,
     StalenessBoundError,
@@ -491,7 +492,7 @@ class ComputingNode(ClusterNode):
                     timeout_ns=self.config.op_timeout_ns)
             except NetworkError as exc:
                 self._note_abort()
-                raise TransactionAborted(
+                raise CommitOutcomeUnknown(
                     f"commit lost: {exc} (outcome unknown)")
             if reply[0] == "abort":
                 self._note_abort()

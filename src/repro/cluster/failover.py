@@ -36,6 +36,7 @@ class FailoverEvent:
     new_primary: str
     in_doubt_aborted: int
     lost_commit_ts_window: int  # old frontier minus promoted frontier
+    rcp_gap_healed: int = 0     # advertised RCP minus promoted frontier
 
 
 @dataclass
@@ -97,6 +98,20 @@ class FailoverManager:
         in_doubt = chosen.promote_to_primary()
         chosen.replication_policy = old_primary.replication_policy
         self.primaries[shard] = chosen
+        # ROR safety: CNs have advertised strongly-consistent replica reads
+        # up to their RCP. If the promoted replica's redo frontier is behind
+        # that (it was partitioned from the collector while peers advanced
+        # the RCP), a replica read at the RCP on this shard would silently
+        # return stale rows. Advance the new primary's frontier past every
+        # CN's RCP with a redo heartbeat *before* rebuilding replicas, so
+        # the whole shard group inherits the guarantee. Commits the old
+        # primary acknowledged in that window are still lost (async
+        # replication's trade-off) — this guard only ensures reads below
+        # the advertised RCP never see a gap they were promised not to.
+        advertised_rcp = max((cn.rcp_state.rcp for cn in self.cns), default=0)
+        rcp_gap = max(0, advertised_rcp - chosen.engine.last_commit_ts)
+        if rcp_gap:
+            chosen.engine.heartbeat(advertised_rcp)
         # Rebuild the remaining replicas from the new primary and restart
         # shipping to them.
         self._drop_shippers_from(old_primary.name)
@@ -129,7 +144,8 @@ class FailoverManager:
         self.events.append(FailoverEvent(
             at_ns=self.env.now, shard=shard, old_primary=old_primary.name,
             new_primary=chosen.name, in_doubt_aborted=in_doubt,
-            lost_commit_ts_window=max(0, old_frontier - promoted_frontier)))
+            lost_commit_ts_window=max(0, old_frontier - promoted_frontier),
+            rcp_gap_healed=rcp_gap))
         if self.env.series_on:
             self.env.series.mark("failover.phase", shard=f"s{shard}",
                                  phase="promoted")

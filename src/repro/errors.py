@@ -48,6 +48,15 @@ class WriteConflict(TransactionAborted):
     """A write-write conflict with a concurrent transaction."""
 
 
+class CommitOutcomeUnknown(TransactionAborted):
+    """The commit request was sent but its acknowledgement was lost.
+
+    The transaction may or may not have committed — Jepsen's ``info``
+    state. History recorders must not count it as either committed or
+    aborted; clients must not retry non-idempotent work blindly.
+    """
+
+
 class ModeTransitionError(TransactionError):
     """An invalid step in the GTM <-> GClock migration protocol."""
 

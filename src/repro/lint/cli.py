@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "--determinism (default: 3)")
     parser.add_argument("--duration", type=float, default=None,
                         help="sim-seconds per --determinism child run")
+    parser.add_argument("--chaos", action="store_true",
+                        help="with --determinism: perturb the traced chaos "
+                             "smoke (bank under the default nemesis) and "
+                             "require stable chaos/history digests too")
     return parser
 
 
@@ -78,6 +82,7 @@ def _cmd_list_rules() -> int:
 
 def _cmd_determinism(args: argparse.Namespace) -> int:
     from repro.lint.determinism import (
+        DEFAULT_CHAOS_DURATION_S,
         DEFAULT_DURATION_S,
         run_perturbation,
     )
@@ -86,12 +91,15 @@ def _cmd_determinism(args: argparse.Namespace) -> int:
         print("error: --seeds must be >= 2 (one run proves nothing)",
               file=sys.stderr)
         return EXIT_ERROR
-    duration = args.duration if args.duration is not None \
+    default_duration = DEFAULT_CHAOS_DURATION_S if args.chaos \
         else DEFAULT_DURATION_S
-    print(f"determinism harness: {args.seeds} subprocess runs, "
+    duration = args.duration if args.duration is not None \
+        else default_duration
+    flavor = "chaos smoke" if args.chaos else "smoke"
+    print(f"determinism harness ({flavor}): {args.seeds} subprocess runs, "
           f"{duration} sim-seconds each, distinct PYTHONHASHSEED values")
     result = run_perturbation(seeds=args.seeds, duration_s=duration,
-                              echo=print)
+                              echo=print, chaos=args.chaos)
     print(result.render())
     return EXIT_CLEAN if result.ok else EXIT_FINDINGS
 

@@ -28,6 +28,9 @@ from dataclasses import dataclass
 DEFAULT_SEEDS = 3
 DEFAULT_DURATION_S = 0.2
 DEFAULT_WARMUP_S = 0.05
+#: Chaos smoke runs are longer so the default nemesis's partition,
+#: migration-under-fire and crash windows all fire inside the run.
+DEFAULT_CHAOS_DURATION_S = 1.0
 CHILD_TIMEOUT_S = 600
 
 
@@ -83,6 +86,34 @@ def smoke_run(duration_s: float = DEFAULT_DURATION_S,
     return summary
 
 
+def chaos_smoke_run(duration_s: float = DEFAULT_CHAOS_DURATION_S,
+                    warmup_s: float = DEFAULT_WARMUP_S,
+                    seed: int = 0) -> dict:
+    """One traced chaos experiment (three-city bank under the default
+    nemesis, see :mod:`repro.check.runner`), summarised for comparison.
+
+    Three digests must be hash-seed stable: the trace (every span the run
+    emitted, chaos instants included), the nemesis event log, and the
+    recorded operation history the consistency checkers consume — so the
+    sweep proves fault injection, healing, *and* the Jepsen history are
+    all free of hash-order dependence."""
+    from repro.check.runner import run_seed
+
+    run = run_seed(seed, nemesis="default", duration_s=duration_s,
+                   warmup_s=warmup_s, trace=True)
+    return {
+        "digest": run["trace_digest"],
+        "chaos_digest": run["chaos_digest"],
+        "history_digest": run["history_digest"],
+        "chaos_events": run["chaos_events"],
+        "committed": run["committed"],
+        "aborted": run["aborted"],
+        "violations": len(run["violations"]),
+        "spans": run["trace_spans"],
+        "hash_seed": os.environ.get("PYTHONHASHSEED", "<unset>"),
+    }
+
+
 @dataclass
 class DeterminismResult:
     """Outcome of one perturbation sweep."""
@@ -102,18 +133,32 @@ class DeterminismResult:
         digests = {run["digest"] for run in self.runs}
         alert_digests = {run["alerts_digest"] for run in self.runs
                          if "alerts_digest" in run}
+        chaos_digests = {run["chaos_digest"] for run in self.runs
+                         if "chaos_digest" in run}
+        history_digests = {run["history_digest"] for run in self.runs
+                           if "history_digest" in run}
         if self.ok:
             suffix = ""
             if alert_digests:
                 alerts = self.runs[0].get("alerts", 0)
                 suffix = (f"; alert stream stable "
                           f"({alerts} alert(s), 1 digest)")
+            if chaos_digests:
+                events = self.runs[0].get("chaos_events", 0)
+                suffix += (f"; chaos + history stable "
+                           f"({events} fault event(s), 1 digest each)")
             lines.append(f"determinism PASS: {len(self.runs)} runs under "
                          f"distinct hash seeds, 1 digest{suffix}")
         else:
             if len(alert_digests) > 1:
                 lines.append(f"  monitor alert streams diverged: "
                              f"{len(alert_digests)} distinct digests")
+            if len(chaos_digests) > 1:
+                lines.append(f"  nemesis event logs diverged: "
+                             f"{len(chaos_digests)} distinct digests")
+            if len(history_digests) > 1:
+                lines.append(f"  recorded histories diverged: "
+                             f"{len(history_digests)} distinct digests")
             lines.append(f"determinism FAIL: {len(digests)} distinct "
                          f"digest(s) across {len(self.runs)} run(s) — "
                          f"hash-order dependence in a scheduling path")
@@ -139,7 +184,8 @@ def run_perturbation(seeds: int = DEFAULT_SEEDS,
                      duration_s: float = DEFAULT_DURATION_S,
                      warmup_s: float = DEFAULT_WARMUP_S,
                      echo=None, telemetry: bool = True,
-                     sanitize: bool = False) -> DeterminismResult:
+                     sanitize: bool = False,
+                     chaos: bool = False) -> DeterminismResult:
     """Run the smoke sim under ``seeds`` distinct hash seeds and compare.
 
     Hash seeds are spread out (1, 1001, 2001, ...) rather than 0..N-1
@@ -149,6 +195,11 @@ def run_perturbation(seeds: int = DEFAULT_SEEDS,
     With ``telemetry`` (the default) the children also run the windowed
     time-series + default monitors and the sweep additionally requires the
     monitor alert streams to share one digest.
+
+    With ``chaos`` the children instead run the traced chaos smoke
+    (:func:`chaos_smoke_run`) and the sweep additionally requires the
+    nemesis event log and the recorded Jepsen history to each share one
+    digest across hash seeds.
     """
     runs: list[dict] = []
     errors: list[str] = []
@@ -156,9 +207,11 @@ def run_perturbation(seeds: int = DEFAULT_SEEDS,
         hash_seed = 1 + index * 1000
         command = [sys.executable, "-m", "repro.lint.determinism",
                    "--duration", str(duration_s), "--warmup", str(warmup_s)]
-        if telemetry:
+        if chaos:
+            command.append("--chaos")
+        elif telemetry:
             command.append("--telemetry")
-        if sanitize:
+        if sanitize and not chaos:
             command.append("--sanitize")
         try:
             proc = subprocess.run(
@@ -186,8 +239,13 @@ def run_perturbation(seeds: int = DEFAULT_SEEDS,
     digests = {run["digest"] for run in runs}
     alert_digests = {run["alerts_digest"] for run in runs
                      if "alerts_digest" in run}
+    chaos_digests = {run["chaos_digest"] for run in runs
+                     if "chaos_digest" in run}
+    history_digests = {run["history_digest"] for run in runs
+                       if "history_digest" in run}
     ok = (not errors and len(runs) == seeds and len(digests) == 1
-          and len(alert_digests) <= 1)
+          and len(alert_digests) <= 1 and len(chaos_digests) <= 1
+          and len(history_digests) <= 1)
     return DeterminismResult(ok=ok, runs=runs, errors=errors)
 
 
@@ -208,10 +266,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sanitize", action="store_true",
                         help="install the repro.san runtime sanitizer and "
                              "report its findings")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the traced chaos smoke (bank workload "
+                             "under the default nemesis) instead of the "
+                             "TPC-C smoke")
     args = parser.parse_args(argv)
-    summary = smoke_run(duration_s=args.duration, warmup_s=args.warmup,
-                        seed=args.seed, workload_seed=args.workload_seed,
-                        telemetry=args.telemetry, sanitize=args.sanitize)
+    if args.chaos:
+        summary = chaos_smoke_run(duration_s=args.duration,
+                                  warmup_s=args.warmup, seed=args.seed)
+    else:
+        summary = smoke_run(duration_s=args.duration, warmup_s=args.warmup,
+                            seed=args.seed, workload_seed=args.workload_seed,
+                            telemetry=args.telemetry, sanitize=args.sanitize)
     print(json.dumps(summary, sort_keys=True))
     return 0
 

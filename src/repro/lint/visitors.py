@@ -1,4 +1,4 @@
-"""The built-in simlint rules (SIM101–SIM106).
+"""The built-in simlint rules (SIM101–SIM106, SIM111).
 
 Each rule targets a determinism or sim-safety hazard this codebase has
 actually hit or is structurally exposed to:
@@ -15,6 +15,10 @@ SIM104    dropping the result of a `g_*` generator-process call — the
 SIM105    blocking calls (`time.sleep`, socket/file I/O) inside sim
           process generators — they stall the event loop in wall time
 SIM106    mutable default arguments — shared state across calls
+SIM111    fault-injection primitives (partitions, delay injection,
+          endpoint up/down, link/clock mutation) outside the
+          sanctioned layers — all chaos must flow through
+          `repro.chaos` so it is scheduled, recorded, and healed
 ========  ==========================================================
 """
 
@@ -371,3 +375,73 @@ class MutableDefaultRule(Rule):
                 name = node.func.attr
             return name in _MUTABLE_FACTORIES
         return False
+
+
+# ----------------------------------------------------------------------
+# SIM111 — fault injection outside repro.chaos
+# ----------------------------------------------------------------------
+_FAULT_CALL_ATTRS = frozenset({
+    "set_partition", "inject_delay", "inject_delay_all",
+    "inject_delay_between_regions", "set_endpoint_up",
+})
+
+_FAULT_STORE_ATTRS = frozenset({"blocked", "extra_delay_ns"})
+
+
+@register
+class FaultInjectionRule(Rule):
+    code = "SIM111"
+    name = "unsanctioned-fault-injection"
+    description = ("Fault-injection primitives used outside repro.chaos "
+                   "(or the layers implementing them) — ad-hoc faults are "
+                   "invisible to the nemesis event log, never healed by "
+                   "quiesce, and break chaos-run reproducibility.")
+
+    #: Module prefixes where the primitives are legitimate: the chaos
+    #: engine itself, the layers that *implement* them (network, cluster
+    #: crash/recovery, clock devices), and the bench experiments that
+    #: reproduce the paper's injected-delay figures.
+    allowed_prefixes: tuple[str, ...] = (
+        "repro.chaos", "repro.sim", "repro.cluster", "repro.clocks",
+        "repro.bench",
+    )
+
+    def _allowed(self, module: Module) -> bool:
+        return any(module.name == prefix
+                   or module.name.startswith(prefix + ".")
+                   for prefix in self.allowed_prefixes)
+
+    def check(self, module: Module) -> typing.Iterator[Finding]:
+        if self._allowed(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr in _FAULT_CALL_ATTRS:
+                    yield self.finding(
+                        module, node,
+                        f"fault-injection call '.{attr}(...)' outside "
+                        f"repro.chaos — route faults through a chaos "
+                        f"injector/schedule so they are recorded and "
+                        f"healed")
+                elif attr == "step" and \
+                        isinstance(node.func.value, ast.Name) and \
+                        "clock" in node.func.value.id.lower():
+                    yield self.finding(
+                        module, node,
+                        "direct clock step outside repro.chaos — use the "
+                        "ClockStep injector so the anomaly is scheduled "
+                        "and recorded")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and \
+                            target.attr in _FAULT_STORE_ATTRS:
+                        yield self.finding(
+                            module, target,
+                            f"direct link mutation '.{target.attr} = ...' "
+                            f"outside repro.chaos — use a partition/"
+                            f"degradation injector so the fault heals "
+                            f"deterministically")

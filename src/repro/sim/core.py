@@ -193,6 +193,10 @@ class Environment:
         #: installed (``REPRO_SAN=1`` or ``Sanitizer(env).install()``);
         #: hook sites pay one attribute load + None check when off.
         self.san = None
+        #: Jepsen-style operation recorder (see repro.check). ``None``
+        #: unless installed (``REPRO_HISTORY=1`` or programmatically);
+        #: same contract as ``san``: passive, never schedules events.
+        self.history = None
 
     @property
     def events_scheduled(self) -> int:

@@ -7,10 +7,14 @@
   variant (Order-Status + Stock-Level with 50% multi-shard reads, §V-B).
 - :mod:`repro.workloads.sysbench` — Sysbench point-select with a
   controllable remote-tuple fraction (§V-B runs 2/3 remote).
+- :mod:`repro.workloads.bank` — the Jepsen ``bank`` conservation workload
+  used by the chaos/consistency harness (:mod:`repro.chaos`,
+  :mod:`repro.check`).
 - :mod:`repro.workloads.driver` — closed-loop terminal drivers running
   inside the simulation, and latency/throughput statistics.
 """
 
+from repro.workloads.bank import BankConfig, BankWorkload
 from repro.workloads.driver import WorkloadResult, WorkloadStats, run_workload
 from repro.workloads.sysbench import SysbenchConfig, SysbenchWorkload
 from repro.workloads.tpcc import TpccConfig, TpccWorkload
@@ -23,4 +27,6 @@ __all__ = [
     "TpccWorkload",
     "SysbenchConfig",
     "SysbenchWorkload",
+    "BankConfig",
+    "BankWorkload",
 ]

@@ -1,0 +1,203 @@
+"""The Jepsen ``bank`` workload: transfers that must conserve money.
+
+A fixed set of accounts starts with the same balance; transfer
+transactions move random amounts between two accounts (read-for-update on
+both sides, keys locked in sorted order so the workload itself cannot
+deadlock), and audit transactions read *every* account at one read-only
+snapshot. Because transfers only move money, every consistent snapshot
+must total ``accounts * initial_balance`` — the classic conservation
+invariant — and the recorded ``before``/``after`` balances give
+:mod:`repro.check` per-account version chains for lost-update and
+write-cycle detection.
+
+When a history recorder is installed (``env.history``, see
+:mod:`repro.check.history`) every transfer and audit is recorded
+Jepsen-style; a commit whose acknowledgement was lost
+(:class:`~repro.errors.CommitOutcomeUnknown`) is recorded as ``info`` —
+outcome unknown — so the checkers can exclude, not guess, its effects.
+The workload keeps a per-terminal read-your-writes floor (the terminal's
+last commit timestamp) and passes it as ``min_read_ts`` so audits also
+exercise the session-consistency path.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass
+
+from repro.errors import (
+    ClockError,
+    CommitOutcomeUnknown,
+    NetworkError,
+    ReplicaUnavailableError,
+    StalenessBoundError,
+    TransactionAborted,
+)
+from repro.sim.units import ms
+from repro.storage.catalog import ColumnDef, TableSchema
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.builder import GlobalDB
+    from repro.cluster.cn import ComputingNode
+
+#: Errors a fault-injected run can surface mid-transaction; the driver
+#: protocol only understands TransactionAborted, so the workload converts.
+_TRANSIENT = (NetworkError, StalenessBoundError, ReplicaUnavailableError,
+              ClockError)
+
+
+@dataclass
+class BankConfig:
+    """Scale and behavior knobs."""
+
+    accounts: int = 16
+    initial_balance: int = 1000
+    max_transfer: int = 50
+    read_fraction: float = 0.25       # fraction of txns that audit
+    hot_fraction: float = 0.5         # fraction of picks from the hot set
+    hot_accounts: int = 4             # size of the contended hot set
+    staleness_bound_ms: float = 100.0
+    seed: int = 11
+
+
+class BankWorkload:
+    """Transfers + full-table audits over the ``bank`` table."""
+
+    name = "bank"
+    table = "bank"
+
+    def __init__(self, config: BankConfig | None = None):
+        self.config = config or BankConfig()
+        self._rngs: dict[int, random.Random] = {}
+        self._floors: dict[int, int] = {}   # terminal -> last commit_ts
+        self.transfers = 0
+        self.audits = 0
+
+    # ------------------------------------------------------------------
+    def setup(self, db: "GlobalDB") -> None:
+        schema = TableSchema(
+            name=self.table,
+            columns=[ColumnDef("id", "int"), ColumnDef("balance", "int")],
+            primary_key=("id",),
+        )
+        db.create_table_offline(schema)
+        db.bulk_load(self.table, [
+            {"id": account, "balance": self.config.initial_balance}
+            for account in range(self.config.accounts)
+        ])
+
+    def _rng(self, terminal_id: int) -> random.Random:
+        rng = self._rngs.get(terminal_id)
+        if rng is None:
+            rng = random.Random(self.config.seed * 7_000_003 + terminal_id)
+            self._rngs[terminal_id] = rng
+        return rng
+
+    def _pick_account(self, rng: random.Random) -> int:
+        config = self.config
+        if rng.random() < config.hot_fraction:
+            return rng.randrange(min(config.hot_accounts, config.accounts))
+        return rng.randrange(config.accounts)
+
+    def _recorder(self, cn: "ComputingNode"):
+        return cn.env.history
+
+    # ------------------------------------------------------------------
+    def transaction(self, cn: "ComputingNode", terminal_id: int):
+        rng = self._rng(terminal_id)
+        if rng.random() < self.config.read_fraction:
+            yield from self._audit(cn, terminal_id, rng)
+            return "read"
+        yield from self._transfer(cn, terminal_id, rng)
+        return "transfer"
+
+    # ------------------------------------------------------------------
+    def _transfer(self, cn: "ComputingNode", terminal_id: int,
+                  rng: random.Random):
+        src = self._pick_account(rng)
+        dst = self._pick_account(rng)
+        while dst == src:
+            dst = self._pick_account(rng)
+        amount = rng.randint(1, self.config.max_transfer)
+        recorder = self._recorder(cn)
+        op = recorder.invoke(
+            f"bank-{terminal_id}", "transfer",
+            {"src": src, "dst": dst, "amount": amount,
+             "accounts": [str(src), str(dst)]}) if recorder else None
+        try:
+            ctx = yield from cn.g_begin()
+        except _TRANSIENT as exc:
+            if recorder:
+                recorder.fail(op, f"begin: {exc}")
+            raise TransactionAborted(f"bank begin failed: {exc}")
+        try:
+            rows = {}
+            for account in sorted((src, dst)):   # lock order: sorted keys
+                rows[account] = yield from cn.g_read_for_update(
+                    ctx, self.table, (account,))
+            before_src = rows[src]["balance"]
+            before_dst = rows[dst]["balance"]
+            after_src = before_src - amount
+            after_dst = before_dst + amount
+            for account in sorted((src, dst)):
+                balance = after_src if account == src else after_dst
+                yield from cn.g_update(ctx, self.table, (account,),
+                                       {"balance": balance})
+            commit_ts = yield from cn.g_commit(ctx)
+        except CommitOutcomeUnknown as exc:
+            if recorder:
+                recorder.info(op, str(exc))
+            raise
+        except TransactionAborted as exc:
+            if recorder:
+                recorder.fail(op, str(exc))
+            raise
+        except _TRANSIENT as exc:
+            if recorder:
+                recorder.fail(op, str(exc))
+            yield from cn.g_abort(ctx)
+            raise TransactionAborted(f"bank transfer failed: {exc}")
+        self.transfers += 1
+        self._floors[terminal_id] = max(
+            self._floors.get(terminal_id, 0), commit_ts)
+        if recorder:
+            recorder.ok(op, commit_ts=commit_ts, writes={
+                str(src): [before_src, after_src],
+                str(dst): [before_dst, after_dst],
+            })
+
+    # ------------------------------------------------------------------
+    def _audit(self, cn: "ComputingNode", terminal_id: int,
+               rng: random.Random):
+        config = self.config
+        bound_ns = round(ms(config.staleness_bound_ms))
+        floor = self._floors.get(terminal_id, 0)
+        recorder = self._recorder(cn)
+        rcp_at_invoke = cn.rcp_state.rcp
+        op = recorder.invoke(
+            f"bank-{terminal_id}", "read",
+            {"floor": floor, "rcp": rcp_at_invoke,
+             "bound_ns": bound_ns}) if recorder else None
+        try:
+            read_ts, use_ror = yield from cn.ro_snapshot(
+                [self.table], min_read_ts=floor)
+            rows = yield from cn._ro_fanout([
+                cn.g_ro_read(read_ts, use_ror, self.table, (account,),
+                             staleness_bound_ns=bound_ns)
+                for account in range(config.accounts)
+            ])
+        except _TRANSIENT as exc:
+            if recorder:
+                recorder.fail(op, str(exc))
+            raise TransactionAborted(f"bank audit failed: {exc}")
+        balances = {str(account): row["balance"]
+                    for account, row in enumerate(rows) if row is not None}
+        if len(balances) != config.accounts:
+            if recorder:
+                recorder.fail(op, "audit read missing rows")
+            raise TransactionAborted("bank audit: missing rows")
+        self.audits += 1
+        if recorder:
+            recorder.ok(op, read_ts=read_ts, use_ror=use_ror,
+                        balances=balances)

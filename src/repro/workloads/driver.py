@@ -145,10 +145,13 @@ def run_workload(db: "GlobalDB", workload: Workload, terminals: int,
     does for a CN not co-located with the GTM server). ``warmup_s`` of
     extra run time is excluded from the statistics.
     """
-    # Honor REPRO_SAN=1 on every driven run (CLI, bench, examples) — a
-    # single os.environ lookup when unset, idempotent when already on.
+    # Honor REPRO_SAN=1 / REPRO_HISTORY=1 on every driven run (CLI, bench,
+    # examples) — a single os.environ lookup when unset, idempotent when
+    # already on.
+    from repro.check.history import maybe_install as maybe_install_history
     from repro.san import maybe_install
     maybe_install(db.env)
+    maybe_install_history(db.env)
     if setup:
         workload.setup(db)
     stats = WorkloadStats()

@@ -1,0 +1,240 @@
+"""repro.chaos: injectors must heal exactly; nemeses must be deterministic.
+
+Two properties carry the whole chaos engine:
+
+1. **Exact healing** — after ``inject`` + ``heal`` the cluster's fault
+   surfaces (link state, endpoint liveness, node failure flags, time
+   devices, clock drift parameters) are back to their pre-fault values.
+   A leaky heal would poison every later window in a schedule.
+2. **Determinism** — one ``(cluster seed, schedule)`` pair produces one
+   fault history: the event-log digest is stable across runs and across
+   ``PYTHONHASHSEED`` (the latter is exercised end-to-end by
+   ``repro.lint --determinism --chaos``).
+"""
+
+import pytest
+
+from repro import ClusterConfig, build_cluster, three_city
+from repro.chaos import (
+    AsymmetricPartition,
+    BandwidthCollapse,
+    ClockDriftBurst,
+    ClockStep,
+    FaultSchedule,
+    FaultSpec,
+    GtmOutage,
+    JitterStorm,
+    LatencySpike,
+    LinkCut,
+    Nemesis,
+    NodeCrash,
+    RegionPartition,
+    RegionSplit,
+    SyncOutage,
+    available_nemeses,
+    make_nemesis,
+)
+from repro.errors import NetworkError
+from repro.sim.rand import RandomStreams
+
+
+def build_db(seed=5, auto_failover=False):
+    db = build_cluster(ClusterConfig.globaldb(three_city(), seed=seed,
+                                              auto_failover=auto_failover))
+    db.run_for(0.2)  # let heartbeats/replication establish the links
+    return db
+
+
+def fault_state(db):
+    """Everything an injector may touch, for heal comparison."""
+    return {
+        "links": {key: (link.blocked, link.extra_delay_ns, link.jitter_ns,
+                        link.bandwidth_bps)
+                  for key, link in sorted(db.network._links.items())},
+        "endpoints": {name: endpoint.up for name, endpoint
+                      in sorted(db.network._endpoints.items())},
+        "nodes": {node.name: node.failed for node in db.all_nodes()},
+        "devices": {region: device.failed
+                    for region, device in sorted(db.devices.items())},
+        "drift": {node.name: (node.clock.max_drift_ppm,
+                              node.clock._drift_ppm)
+                  for node in db.all_nodes()},
+        "max_drift": {node.name: node.clock.max_drift_ppm
+                      for node in db.all_nodes()},
+    }
+
+
+def assert_restored(baseline, current, drift="full"):
+    """The healed cluster must match the baseline on every fault surface.
+
+    Links may legitimately *gain* entries (``set_partition`` and probes
+    create them lazily), so new keys only need to be fault-free. Drift
+    rates are resampled at every sync anchor, so runs that advance sim
+    time compare only the ``max_drift_ppm`` bound (``drift="bound"``).
+    """
+    for key, values in baseline["links"].items():
+        assert current["links"][key] == values, f"link {key} not restored"
+    for key in set(current["links"]) - set(baseline["links"]):
+        blocked, extra_delay_ns, _jitter, _bandwidth = current["links"][key]
+        assert not blocked and extra_delay_ns == 0, \
+            f"new link {key} left faulted"
+    assert current["endpoints"] == baseline["endpoints"]
+    assert current["nodes"] == baseline["nodes"]
+    assert current["devices"] == baseline["devices"]
+    key = "drift" if drift == "full" else "max_drift"
+    assert current[key] == baseline[key]
+
+
+def chaos_rng(seed=5):
+    return RandomStreams(seed).stream("chaos:test:0:injector")
+
+
+INJECTORS = [
+    RegionPartition("xian", "dongguan"),
+    RegionSplit("xian"),
+    AsymmetricPartition("dongguan", "xian"),
+    LatencySpike(extra_ms=25.0),
+    LatencySpike(extra_ms=25.0, region_a="xian", region_b="langzhong"),
+    JitterStorm(jitter_ms=4.0),
+    BandwidthCollapse(factor=50.0),
+    NodeCrash("replica"),
+    NodeCrash("primary"),
+    NodeCrash("cn"),
+    ClockDriftBurst("langzhong", factor=8.0),
+    SyncOutage("xian"),
+    GtmOutage(),
+]
+
+
+class TestInjectorsHealExactly:
+    @pytest.mark.parametrize("injector", INJECTORS,
+                             ids=lambda injector: repr(injector))
+    def test_inject_changes_and_heal_restores(self, injector):
+        db = build_db()
+        baseline = fault_state(db)
+        detail = injector.inject(db, chaos_rng())
+        assert isinstance(detail, str) and detail
+        assert fault_state(db) != baseline, \
+            f"{injector!r} injected nothing observable"
+        injector.heal(db)
+        # No sim time passed, so even the drift rates must match exactly.
+        assert_restored(baseline, fault_state(db), drift="full")
+
+    def test_link_cut_blocks_named_pair_only(self):
+        db = build_db()
+        src, dst = db.cns[0].name, db.primaries[0].name
+        injector = LinkCut(src, dst)
+        injector.inject(db, chaos_rng())
+        assert db.network.link(src, dst).blocked
+        assert db.network.link(dst, src).blocked
+        injector.heal(db)
+        assert not db.network.link(src, dst).blocked
+        assert not db.network.link(dst, src).blocked
+
+    def test_region_partition_blocks_cross_traffic(self):
+        db = build_db()
+        injector = RegionPartition("xian", "dongguan")
+        injector.inject(db, chaos_rng())
+        xian_cn = next(cn for cn in db.cns if cn.region == "xian")
+        dongguan_dn = next(node for node in db.primaries
+                           if node.region == "dongguan")
+
+        def probe():
+            try:
+                yield db.network.request(xian_cn.name, dongguan_dn.name,
+                                         ("status",),
+                                         timeout_ns=300_000_000)
+            except NetworkError:
+                return "unreachable"
+            return "reachable"
+
+        assert db.env.run(until=db.env.process(probe())) == "unreachable"
+        injector.heal(db)
+        assert db.env.run(until=db.env.process(probe())) == "reachable"
+
+    def test_node_crash_draws_from_seeded_stream(self):
+        db_a, db_b = build_db(), build_db()
+        crash_a, crash_b = NodeCrash("replica"), NodeCrash("replica")
+        detail_a = crash_a.inject(db_a, chaos_rng())
+        detail_b = crash_b.inject(db_b, chaos_rng())
+        assert detail_a == detail_b  # same stream, same victim
+        crash_a.heal(db_a)
+        crash_b.heal(db_b)
+
+    def test_clock_step_is_absorbed_by_the_next_sync(self):
+        db = build_db()
+        detail = ClockStep(step_us=20.0).inject(db, chaos_rng())
+        assert "stepped" in detail
+        db.run_for(0.3)  # sync daemons re-anchor; nothing may blow up
+        for node in db.all_nodes():
+            # Bounded step + re-anchor: every clock is back inside a
+            # loose envelope around true time (20us step, 200ppm drift).
+            assert abs(node.clock.offset_ns()) < 1_000_000
+
+
+class TestNemesisDeterminism:
+    def test_same_seed_same_digest(self):
+        def one_run():
+            db = build_cluster(ClusterConfig.globaldb(three_city(), seed=9))
+            nemesis = make_nemesis("default", db).start()
+            db.env.run(until=2_000_000_000)
+            nemesis.quiesce()
+            return nemesis.digest(), [event.to_dict()
+                                      for event in nemesis.events]
+
+        digest_a, events_a = one_run()
+        digest_b, events_b = one_run()
+        assert digest_a == digest_b
+        assert events_a == events_b
+        assert events_a  # the schedule actually fired
+
+    def test_different_seed_different_history(self):
+        """The chaos streams derive from the cluster seed: distinct seeds
+        pick distinct crash victims / step directions (the digest covers
+        every event's detail string)."""
+        digests = set()
+        for seed in (1, 2, 3):
+            db = build_cluster(ClusterConfig.globaldb(three_city(),
+                                                      seed=seed))
+            nemesis = make_nemesis("crash", db).start()
+            db.env.run(until=2_000_000_000)
+            nemesis.quiesce()
+            digests.add(nemesis.digest())
+        assert len(digests) >= 2
+
+    def test_quiesce_heals_everything(self):
+        db = build_db()
+        baseline = fault_state(db)
+        schedule = FaultSchedule("hold", (
+            # Windows far longer than the run: still active at quiesce.
+            FaultSpec(RegionPartition("xian", "dongguan"),
+                      at_s=0.05, duration_s=10.0),
+            FaultSpec(SyncOutage("xian"), at_s=0.05, duration_s=10.0),
+        ))
+        nemesis = Nemesis(db, schedule).start()
+        db.run_for(0.2)
+        assert nemesis.active_faults == ["region-partition", "sync-outage"]
+        assert nemesis.quiesce() == 2
+        assert nemesis.active_faults == []
+        assert_restored(baseline, fault_state(db), drift="bound")
+
+    @pytest.mark.parametrize("name", available_nemeses())
+    def test_preset_runs_clean_and_leaves_no_residue(self, name):
+        db = build_db(seed=4, auto_failover=True)
+        baseline = fault_state(db)
+        nemesis = make_nemesis(name, db).start()
+        db.run_for(2.2)
+        nemesis.quiesce()
+        assert_restored(baseline, fault_state(db), drift="bound")
+
+    def test_unknown_nemesis_raises(self):
+        db = build_db()
+        with pytest.raises(ValueError, match="unknown nemesis"):
+            make_nemesis("nope", db)
+
+    def test_periodic_spec_validation(self):
+        with pytest.raises(ValueError, match="every_s"):
+            FaultSpec(GtmOutage(), at_s=0.1, repeat=3)
+        with pytest.raises(ValueError, match="exceed"):
+            FaultSpec(GtmOutage(), at_s=0.1, duration_s=0.5,
+                      every_s=0.4, repeat=2)

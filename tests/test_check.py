@@ -1,0 +1,279 @@
+"""repro.check: each checker must reject its anomaly and pass clean runs.
+
+Every checker gets a hand-built violating history (the anomaly it exists
+to catch, in minimal form) plus a clean twin — a checker that never fires
+proves nothing. The recorder's Jepsen edge semantics (invoke / ok / fail /
+info), unknown-outcome tainting, serialisation, and the end-to-end
+``run_seed`` entry point are covered alongside.
+"""
+
+import pytest
+
+from repro.check import (
+    History,
+    HistoryRecorder,
+    Op,
+    check_balance,
+    check_external_consistency,
+    check_lost_update,
+    check_staleness,
+    check_write_cycles,
+    maybe_install,
+    run_all_checks,
+    run_seed,
+)
+from repro.check.history import FAIL, INFO, INVOKE, OK
+from repro.sim.core import Environment
+
+
+def transfer(index, invoke_ns, complete_ns, commit_ts, writes,
+             status=OK, client="client-1"):
+    """A committed (or unknown) bank transfer op, minimal Jepsen shape."""
+    return Op(index=index, client=client, op="transfer", status=status,
+              invoke_ns=invoke_ns, complete_ns=complete_ns,
+              commit_ts=commit_ts,
+              value={"writes": writes, "accounts": sorted(writes)})
+
+
+def ror_read(index, read_ts, rcp, bound_ns, floor=0, balances=None):
+    value = {"use_ror": True, "rcp": rcp, "bound_ns": bound_ns,
+             "floor": floor}
+    if balances is not None:
+        value["balances"] = balances
+    return Op(index=index, client="reader", op="read", status=OK,
+              invoke_ns=0, complete_ns=1, read_ts=read_ts, value=value)
+
+
+class TestExternalConsistency:
+    def test_flags_commit_ts_behind_real_time(self):
+        # A completed (t=100) before B was invoked (t=200), yet B's commit
+        # timestamp is smaller: GClock's commit wait forbids exactly this.
+        history = History([
+            transfer(0, 0, 100, 500, {"0": [10, 5]}),
+            transfer(1, 200, 300, 400, {"1": [10, 15]}),
+        ])
+        violations, checked = check_external_consistency(history)
+        assert checked == 2
+        assert [v.checker for v in violations] == ["external-consistency"]
+        assert violations[0].ops == (0, 1)
+
+    def test_equal_ts_on_disjoint_real_time_is_also_a_violation(self):
+        history = History([
+            transfer(0, 0, 100, 500, {"0": [10, 5]}),
+            transfer(1, 200, 300, 500, {"1": [10, 15]}),
+        ])
+        violations, _ = check_external_consistency(history)
+        assert violations
+
+    def test_clean_and_overlapping_histories_pass(self):
+        history = History([
+            transfer(0, 0, 100, 500, {"0": [10, 5]}),
+            transfer(1, 200, 300, 600, {"1": [10, 15]}),
+            # Overlapping with both (invoked before A completed): its
+            # commit_ts is unconstrained by real-time order.
+            transfer(2, 50, 400, 450, {"2": [10, 15]}),
+        ])
+        violations, checked = check_external_consistency(history)
+        assert not violations and checked == 3
+
+
+class TestLostUpdate:
+    def test_two_writers_consuming_the_same_before(self):
+        history = History([
+            transfer(0, 0, 10, 100, {"0": [1000, 990]}),
+            # Read the same 1000 snapshot, overwriting op 0's update.
+            transfer(1, 1, 11, 200, {"0": [1000, 980]}),
+        ])
+        violations, checked, skipped = check_lost_update(history, 1000)
+        assert checked == 2 and skipped == 0
+        assert [v.checker for v in violations] == ["lost-update"]
+        assert violations[0].ops == (0, 1)
+
+    def test_chained_updates_pass(self):
+        history = History([
+            transfer(0, 0, 10, 100, {"0": [1000, 990]}),
+            transfer(1, 1, 11, 200, {"0": [990, 980]}),
+        ])
+        violations, checked, _ = check_lost_update(history, 1000)
+        assert not violations and checked == 2
+
+    def test_initial_balance_anchors_the_chain(self):
+        # First write read 900, but the account started at 1000 and no
+        # earlier committed write explains the difference.
+        history = History([transfer(0, 0, 10, 100, {"0": [900, 890]})])
+        violations, _, _ = check_lost_update(history, 1000)
+        assert violations and violations[0].ops == (0,)
+
+    def test_unknown_outcome_taints_the_account(self):
+        history = History([
+            # Outcome unknown: may or may not have installed 1000 -> 990.
+            transfer(0, 0, 10, -1, {"0": [1000, 990]}, status=INFO),
+            # Looks like a lost update against op 0 — but op 0 may never
+            # have happened, so the account is skipped, not judged.
+            transfer(1, 1, 11, 200, {"0": [1000, 980]}),
+        ])
+        violations, checked, skipped = check_lost_update(history, 1000)
+        assert not violations
+        assert checked == 0 and skipped == 1
+
+
+class TestWriteCycles:
+    def test_opposite_install_orders_form_a_cycle(self):
+        # Value adjacency says op 0 -> op 1 on account "0" but
+        # op 1 -> op 0 on account "1": a G0 write cycle.
+        history = History([
+            transfer(0, 0, 10, 100, {"0": [1000, 990], "1": [40, 30]}),
+            transfer(1, 1, 11, 200, {"0": [990, 980], "1": [50, 40]}),
+        ])
+        violations, checked, skipped = check_write_cycles(history)
+        assert checked == 4 and skipped == 0
+        assert [v.checker for v in violations] == ["write-cycle"]
+        assert set(violations[0].ops) == {0, 1}
+
+    def test_consistent_orders_pass(self):
+        history = History([
+            transfer(0, 0, 10, 100, {"0": [1000, 990], "1": [50, 40]}),
+            transfer(1, 1, 11, 200, {"0": [990, 980], "1": [40, 30]}),
+        ])
+        violations, _, _ = check_write_cycles(history)
+        assert not violations
+
+    def test_tainted_accounts_are_excluded(self):
+        history = History([
+            transfer(0, 0, 10, 100, {"0": [1000, 990], "1": [40, 30]}),
+            transfer(1, 1, 11, 200, {"0": [990, 980], "1": [50, 40]}),
+            transfer(2, 2, 12, -1, {"1": [30, 20]}, status=INVOKE),
+        ])
+        violations, checked, skipped = check_write_cycles(history)
+        # Account "1" is tainted away, taking the cycle's back edge with it
+        # (skipped counts the two *committed* entries it excluded).
+        assert not violations
+        assert checked == 2 and skipped == 2
+
+
+class TestStaleness:
+    def test_snapshot_behind_the_advertised_bound(self):
+        history = History([ror_read(0, read_ts=100, rcp=10_000,
+                                    bound_ns=1_000)])
+        violations, checked = check_staleness(history)
+        assert checked == 1
+        assert [v.checker for v in violations] == ["staleness-bound"]
+
+    def test_snapshot_below_the_session_floor(self):
+        history = History([ror_read(0, read_ts=5_000, rcp=5_500,
+                                    bound_ns=1_000, floor=5_200)])
+        violations, _ = check_staleness(history)
+        assert [v.checker for v in violations] == ["read-your-writes"]
+
+    def test_fresh_snapshot_passes_and_primary_reads_are_exempt(self):
+        primary_read = ror_read(1, read_ts=100, rcp=10_000, bound_ns=1_000)
+        primary_read.value["use_ror"] = False   # served by the primary
+        history = History([
+            ror_read(0, read_ts=9_500, rcp=10_000, bound_ns=1_000),
+            primary_read,
+        ])
+        violations, checked = check_staleness(history)
+        assert not violations and checked == 1
+
+
+class TestBalanceConservation:
+    def test_minted_money_is_flagged(self):
+        history = History([ror_read(0, read_ts=10, rcp=10, bound_ns=1_000,
+                                    balances={"0": 1000, "1": 1010})])
+        violations, checked = check_balance(history, 2, 1000)
+        assert checked == 1
+        assert [v.checker for v in violations] == ["balance-conservation"]
+
+    def test_conserved_and_partial_snapshots(self):
+        history = History([
+            ror_read(0, read_ts=10, rcp=10, bound_ns=1_000,
+                     balances={"0": 990, "1": 1010}),
+            # Partial snapshot: not a conservation witness, not checked.
+            ror_read(1, read_ts=10, rcp=10, bound_ns=1_000,
+                     balances={"0": 990}),
+        ])
+        violations, checked = check_balance(history, 2, 1000)
+        assert not violations and checked == 1
+
+
+class TestRunAllChecks:
+    def test_aggregates_every_checker(self):
+        history = History([
+            transfer(0, 0, 100, 500, {"0": [1000, 990]}),
+            transfer(1, 200, 300, 400, {"0": [1000, 980]}),
+        ])
+        report = run_all_checks(history, accounts=2, initial_balance=1000)
+        assert not report.ok
+        checkers = {v.checker for v in report.violations}
+        assert "external-consistency" in checkers
+        assert "lost-update" in checkers
+        assert set(report.checked) == {"external-consistency", "lost-update",
+                                       "write-cycle", "staleness",
+                                       "balance-conservation"}
+        assert report.to_dict()["ok"] is False
+
+
+class TestRecorder:
+    def test_edge_semantics(self):
+        env = Environment()
+        recorder = HistoryRecorder(env).install()
+        assert env.history is recorder
+
+        op_ok = recorder.invoke("c1", "transfer", {"src": 1})
+        op_fail = recorder.invoke("c2", "transfer")
+        op_info = recorder.invoke("c3", "transfer")
+        op_open = recorder.invoke("c4", "transfer")
+        assert op_ok.status == INVOKE and op_ok.index == 0
+
+        recorder.ok(op_ok, commit_ts=77, writes={"0": [10, 5]})
+        recorder.fail(op_fail, "aborted")
+        recorder.info(op_info, "commit ack lost")
+
+        history = recorder.history()
+        assert [op.status for op in history] == [OK, FAIL, INFO, INVOKE]
+        assert history.committed() == [op_ok]
+        assert op_ok.value == {"src": 1, "writes": {"0": [10, 5]}}
+        assert op_fail.value["reason"] == "aborted"
+        # info and never-completed both count as unknown
+        assert history.unknown() == [op_info, op_open]
+
+    def test_maybe_install_respects_env_var(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HISTORY", raising=False)
+        env = Environment()
+        assert maybe_install(env) is None
+        monkeypatch.setenv("REPRO_HISTORY", "1")
+        recorder = maybe_install(env)
+        assert isinstance(recorder, HistoryRecorder)
+        assert maybe_install(env) is recorder   # idempotent
+
+    def test_jsonl_round_trip_and_digest(self, tmp_path):
+        history = History([
+            transfer(0, 0, 100, 500, {"0": [1000, 990]}),
+            ror_read(1, read_ts=9_500, rcp=10_000, bound_ns=1_000),
+        ])
+        path = tmp_path / "history.jsonl"
+        assert history.write_jsonl(str(path)) == 2
+        loaded = History.read_jsonl(str(path))
+        assert loaded.to_dicts() == history.to_dicts()
+        assert loaded.digest() == history.digest()
+
+
+class TestRunSeed:
+    def test_quiet_run_is_clean_and_deterministic(self):
+        results = [run_seed(3, nemesis="none", duration_s=0.6,
+                            terminals=4, accounts=8) for _ in range(2)]
+        first, second = results
+        assert first["ok"], first["violations"]
+        assert first["committed"] > 0
+        assert first["ops"].get("ok", 0) > 0
+        assert first["final_audit"] == "ok"
+        # Same (seed, nemesis) pair => bit-identical experiment.
+        assert first["history_digest"] == second["history_digest"]
+        assert first["chaos_digest"] == second["chaos_digest"]
+
+    def test_checkers_see_real_coverage(self):
+        run = run_seed(1, nemesis="none", duration_s=0.6,
+                       terminals=4, accounts=8)
+        assert run["checked"]["external-consistency"] >= 2
+        assert run["checked"]["lost-update"] >= 1
+        assert run["checked"]["balance-conservation"] >= 1

@@ -190,3 +190,62 @@ class TestPromotion:
         reader = db.session()
         row = reader.read_only("accounts", (key,))
         assert row["balance"] == 100  # the in-doubt write rolled back
+
+
+class TestPromotionRcpGuard:
+    def test_stale_promoted_replica_covers_advertised_rcp(self):
+        """ROR safety on failover: CNs advertise strongly-consistent
+        replica reads up to their RCP. If the only surviving replica was
+        partitioned while the RCP advanced past its redo frontier,
+        promotion must advance the new primary's frontier to the
+        advertised RCP (redo heartbeat) so the shard group never claims
+        less coverage than clients were already promised."""
+        db = build_failover_db(three_city())
+        session = load_accounts(db)
+        shard = 0
+        laggard = db.replicas[shard][0]
+        healthy = db.replicas[shard][1]
+        # Partition the laggard: the RCP collector skips unreachable
+        # replicas, so the RCP keeps advancing while the laggard's redo
+        # frontier stalls.
+        db.network.set_endpoint_up(laggard.name, False)
+        db.run_for(0.3)
+        key = key_on_shard(db, shard)
+        for step in range(3):
+            session.begin()
+            session.update("accounts", (key,), {"balance": 200 + step})
+            session.commit()
+            db.run_for(0.1)
+        db.run_for(0.3)
+        stalled_frontier = laggard.store.max_commit_ts
+        advertised_rcp = max(cn.rcp_state.rcp for cn in db.cns)
+        assert advertised_rcp > stalled_frontier, \
+            "precondition: the RCP must have advanced past the laggard"
+        # Heal the partition, then lose the primary AND the caught-up
+        # replica: the stale laggard is the only promotion candidate.
+        db.network.set_endpoint_up(laggard.name, True)
+        healthy.fail()
+        db.primaries[shard].fail()
+        db.run_for(1.5)
+        events = [event for event in db.failover.events
+                  if event.shard == shard]
+        assert events, "no failover event for the shard"
+        event = events[0]
+        assert event.new_primary == laggard.name
+        assert event.rcp_gap_healed > 0, \
+            "the promotion should have recorded a healed RCP gap"
+        assert db.primaries[shard].engine.last_commit_ts >= advertised_rcp
+        # Reads keep working against the promoted (previously stale) node.
+        reader = db.session()
+        row = reader.read_only("accounts", (key,))
+        assert row is not None
+
+    def test_caught_up_promotion_heals_nothing(self):
+        """The guard must be a no-op when the promoted replica's frontier
+        already covers every CN's RCP (the common case)."""
+        db = build_failover_db()
+        load_accounts(db)
+        db.primaries[0].fail()
+        db.run_for(1.5)
+        event = db.failover.events[0]
+        assert event.rcp_gap_healed == 0
