@@ -94,6 +94,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stamp", default=None,
                         help="label for the BENCH_HISTORY.jsonl record "
                              "(perf only; default: host UTC time)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="perf only: run the scenario N times and "
+                             "report the best run (suppresses host noise)")
+    parser.add_argument("--check", action="store_true",
+                        help="perf only: fail (exit 1) if events/s drops "
+                             ">10%% below the last same-scale "
+                             "BENCH_HISTORY.jsonl record; set "
+                             "REPRO_PERF_ALLOW_REGRESSION=1 to override")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -115,8 +123,13 @@ def main(argv: list[str] | None = None) -> int:
             # never feeds simulated state.
             now_utc = time.gmtime()  # simlint: ignore[SIM101]
             stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", now_utc)
-        report = _profiled(lambda: run_perf(perf_scale, stamp=stamp), "perf")
+        report = _profiled(
+            lambda: run_perf(perf_scale, stamp=stamp, repeat=args.repeat,
+                             check=args.check), "perf")
         print(render_perf(report))
+        check = report.get("check")
+        if check is not None and not check["ok"]:
+            return 1
         return 0
 
     scale = _resolve_scale(args.scale)

@@ -15,10 +15,20 @@ Two guarantees make the numbers trustworthy:
   smoke scenario (:func:`repro.lint.determinism.smoke_run`), failing hard
   if its trace digest differs from the recorded pre-optimization digest —
   an optimization that changes simulated histories is a bug, not a win;
-- ``BASELINE`` pins the pre-optimization (PR 4) measurement of the very
-  same scenario, so the report always shows the speedup since the perf
-  work started. Wall-clock numbers are machine-dependent; compare the
-  ratio, not the absolute values, across machines.
+- ``BASELINES`` pins one reference measurement *per scale*, so the
+  reported speedup always compares like with like (an earlier harness
+  compared quick-scale runs against the standard-scale baseline, which
+  made the headline number meaningless). Wall-clock numbers are
+  machine-dependent; compare the ratio, not the absolute values, across
+  machines.
+
+Two knobs tame host noise: ``repeat`` runs the scenario N times and
+reports the best run (single-machine wall clocks on shared hosts swing
++-20%; best-of-N converges on the machine's actual capability), and
+``check`` compares the result against the last same-scale record in
+``BENCH_HISTORY.jsonl``, failing on a >10% drop unless the
+``REPRO_PERF_ALLOW_REGRESSION`` environment variable acknowledges an
+intentional trade-off.
 
 All wall-clock reads live here, on the host side of the sim boundary,
 and are pragma'd for simlint like the ones in ``__main__``.
@@ -29,6 +39,7 @@ from __future__ import annotations
 import contextlib
 import gc
 import json
+import os
 import resource
 import time
 import typing
@@ -36,23 +47,51 @@ from dataclasses import dataclass
 
 from repro.sim.units import SECOND
 
-#: Trace digest of ``repro.lint.determinism.smoke_run()`` captured at the
-#: pre-optimization commit. The kernel/storage fast paths must reproduce
-#: it bit-for-bit (also enforced by tests/test_perf_caches.py).
+#: Trace digest of ``repro.lint.determinism.smoke_run()``. The calendar-queue
+#: kernel, object pooling and cache fast paths must reproduce it bit-for-bit
+#: (also enforced by tests/test_perf_caches.py). Re-pinned when the
+#: group-commit pipeline landed: GTM service windows, deferred shipper flush
+#: timers and the shared quorum done-event intentionally change *when*
+#: things happen (batched timestamps, one flush timer per window), so the
+#: simulated history legitimately differs from the pre-group-commit
+#: recording. The digest below was verified identical across repeated runs.
 PRE_OPT_SMOKE_DIGEST = (
-    "7e7216a0f3b6ca6ce9d12bae40c217688204382707903cff761109702b4251a0")
+    "bb786c3ce5e4d3299a89a7ddc09474a030e4a186467ff7713a335fecb0e55b4a")
 
-#: Pre-optimization measurement of this module's ``standard`` scenario,
-#: captured on the CI reference host immediately before the hot-path work
-#: landed. ``events_per_sec`` is the headline number the speedup is
-#: computed against.
-BASELINE: dict[str, typing.Any] = {
-    "recorded_at": "pre-optimization (PR 4 baseline)",
-    "scale": "standard",
-    "events_per_sec": 74340.9,
-    "committed_txns_per_wall_s": 5323.8,
-    "peak_rss_kb": 335512,
+#: Reference measurements, one per scale, so speedups compare like with
+#: like. ``standard`` is the pre-optimization capture from the hot-path
+#: work's reference host; ``quick`` was captured by running the PR-4-tip
+#: harness (commit 6cc6ef5, the same host as the current numbers, best of
+#: three) because the pre-optimization kernel predates the quick scenario.
+#: Each entry's ``recorded_at`` says what it is — the speedup is only as
+#: meaningful as its label.
+BASELINES: dict[str, dict[str, typing.Any]] = {
+    "standard": {
+        "recorded_at": "pre-optimization (PR 4 baseline)",
+        "scale": "standard",
+        "events_per_sec": 74340.9,
+        "committed_txns_per_wall_s": 5323.8,
+        "peak_rss_kb": 335512,
+    },
+    "quick": {
+        "recorded_at": "PR 4 tip (6cc6ef5), best of 3, dev host",
+        "scale": "quick",
+        "events_per_sec": 213932.6,
+        "committed_txns_per_wall_s": 9550.4,
+        "peak_rss_kb": 50064,
+    },
 }
+
+#: Backwards-compatible alias: the standard-scale reference.
+BASELINE = BASELINES["standard"]
+
+#: A run is a regression when events/s drops more than this far below the
+#: last same-scale BENCH_HISTORY.jsonl record (the ``--check`` gate).
+DEFAULT_MAX_DROP_PCT = 10.0
+
+#: Setting this environment variable (to anything non-empty) turns a
+#: failed ``--check`` into a waved-through, recorded regression.
+ALLOW_REGRESSION_ENV = "REPRO_PERF_ALLOW_REGRESSION"
 
 
 @dataclass(frozen=True)
@@ -241,10 +280,59 @@ def check_determinism() -> dict:
             "spans": summary["spans"], "committed": summary["committed"]}
 
 
+def last_history_record(history_path: str,
+                        scale_name: str) -> dict | None:
+    """Most recent BENCH_HISTORY.jsonl record for ``scale_name``, or None
+    (no file, or no record at that scale). Malformed lines are skipped."""
+    try:
+        with open(history_path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except FileNotFoundError:
+        return None
+    for line in reversed(lines):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and record.get("scale") == scale_name:
+            return record
+    return None
+
+
+def check_against_history(current: dict, history_path: str | None,
+                          max_drop_pct: float = DEFAULT_MAX_DROP_PCT) -> dict:
+    """The CI perf-regression gate: compare ``current`` against the last
+    same-scale history record. A drop of more than ``max_drop_pct`` fails
+    unless the REPRO_PERF_ALLOW_REGRESSION env var waves it through."""
+    reference = (last_history_record(history_path, current["scale"])
+                 if history_path else None)
+    result = {
+        "enabled": True,
+        "max_drop_pct": max_drop_pct,
+        "reference": reference,
+        "ok": True,
+        "drop_pct": None,
+        "allowed_by_env": False,
+    }
+    if not reference or not reference.get("events_per_sec"):
+        return result  # nothing to compare against: first run at this scale
+    drop_pct = round(100.0 * (1 - current["events_per_sec"]
+                              / reference["events_per_sec"]), 1)
+    result["drop_pct"] = drop_pct
+    if drop_pct > max_drop_pct:
+        if os.environ.get(ALLOW_REGRESSION_ENV):
+            result["allowed_by_env"] = True
+        else:
+            result["ok"] = False
+    return result
+
+
 def run_perf(scale_name: str = "standard",
              out_path: str = "BENCH_PERF.json",
              history_path: str | None = "BENCH_HISTORY.jsonl",
-             stamp: str | None = None) -> dict:
+             stamp: str | None = None,
+             repeat: int = 1,
+             check: bool = False) -> dict:
     """The ``python -m repro.bench perf`` entry point.
 
     Besides overwriting ``out_path`` with the full report, appends a
@@ -252,22 +340,35 @@ def run_perf(scale_name: str = "standard",
     perf *trajectory* accumulates in-repo across runs. ``stamp`` is a
     caller-supplied timestamp/label — the harness never reads wall clocks
     itself beyond the perf measurement.
+
+    ``repeat`` > 1 runs the scenario that many times and reports the best
+    run by events/s (host-noise suppression; the runs' individual rates
+    are kept in the report). ``check`` compares the result against the
+    last same-scale history record *before* appending the new one and
+    marks the report; callers decide what a failed check does (the CLI
+    exits non-zero).
     """
     scale = PerfScale.quick() if scale_name == "quick" else PerfScale.standard()
     determinism = check_determinism()
-    current = run_scenario(scale)
-    baseline_eps = BASELINE.get("events_per_sec") or 0.0
+    runs = [run_scenario(scale) for _ in range(max(1, repeat))]
+    current = max(runs, key=lambda run: run["events_per_sec"])
+    baseline = BASELINES.get(scale.name)
+    baseline_eps = (baseline or {}).get("events_per_sec") or 0.0
     speedup = (current["events_per_sec"] / baseline_eps
                if baseline_eps else None)
     report = {
-        "schema": 1,
+        "schema": 2,
         "scenario": "repro.bench.perf fixed-seed TPC-C + Sysbench + SQL",
-        "baseline": dict(BASELINE),
+        "baseline": dict(baseline) if baseline else None,
         "current": {**current,
                     "speedup_events_per_sec":
                         round(speedup, 2) if speedup else None},
         "determinism": determinism,
+        "repeat": len(runs),
+        "run_events_per_sec": [run["events_per_sec"] for run in runs],
     }
+    if check:
+        report["check"] = check_against_history(current, history_path)
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -287,21 +388,35 @@ def run_perf(scale_name: str = "standard",
 
 def render(report: dict) -> str:
     current = report["current"]
-    baseline = report["baseline"]
+    baseline = report.get("baseline")
     lines = [
         "== perf: simulator hot-path throughput ==",
         f"   scale: {current['scale']}   wall: {current['wall_s']}s   "
         f"peak RSS: {current['peak_rss_kb']} kB",
-        f"   events/sec:            {current['events_per_sec']:>12,.1f}"
-        f"   (baseline {baseline['events_per_sec']:,.1f}"
-        f" @ {baseline['scale']})",
-        f"   committed txns/wall-s: "
-        f"{current['committed_txns_per_wall_s']:>12,.1f}"
-        f"   (baseline {baseline['committed_txns_per_wall_s']:,.1f})",
     ]
+    if baseline:
+        lines += [
+            f"   events/sec:            {current['events_per_sec']:>12,.1f}"
+            f"   (baseline {baseline['events_per_sec']:,.1f}"
+            f" @ {baseline['scale']})",
+            f"   committed txns/wall-s: "
+            f"{current['committed_txns_per_wall_s']:>12,.1f}"
+            f"   (baseline {baseline['committed_txns_per_wall_s']:,.1f})",
+        ]
+    else:
+        lines += [
+            f"   events/sec:            {current['events_per_sec']:>12,.1f}"
+            "   (no recorded baseline for this scale)",
+            f"   committed txns/wall-s: "
+            f"{current['committed_txns_per_wall_s']:>12,.1f}",
+        ]
     speedup = current.get("speedup_events_per_sec")
-    if speedup:
-        lines.append(f"   speedup vs pre-optimization baseline: {speedup}x")
+    if speedup and baseline:
+        lines.append(f"   speedup vs {baseline['recorded_at']}: {speedup}x")
+    if report.get("repeat", 1) > 1:
+        rates = ", ".join(f"{rate:,.0f}"
+                          for rate in report["run_events_per_sec"])
+        lines.append(f"   best of {report['repeat']} runs: [{rates}]")
     for phase in current["phases"]:
         lines.append(
             f"   - {phase['phase']:<9s} {phase['wall_s']:>7.3f}s wall  "
@@ -309,6 +424,26 @@ def render(report: dict) -> str:
             f"{phase['committed']:>6,d} committed")
     lines.append(
         f"   determinism: digest {report['determinism']['digest'][:16]}… "
-        f"matches pre-optimization recording "
+        f"matches pinned recording "
         f"({report['determinism']['spans']} spans)")
+    check = report.get("check")
+    if check:
+        reference = check.get("reference")
+        if not reference:
+            lines.append("   check: no prior history record at this scale "
+                         "— gate passes vacuously")
+        elif check["ok"] and not check["allowed_by_env"]:
+            lines.append(
+                f"   check: OK ({-check['drop_pct']:+.1f}% vs last history "
+                f"record {reference.get('stamp')})")
+        elif check["allowed_by_env"]:
+            lines.append(
+                f"   check: REGRESSION {check['drop_pct']:.1f}% allowed by "
+                f"{ALLOW_REGRESSION_ENV}")
+        else:
+            lines.append(
+                f"   check: FAIL — events/s dropped {check['drop_pct']:.1f}% "
+                f"vs last history record {reference.get('stamp')} "
+                f"(limit {check['max_drop_pct']:.0f}%); set "
+                f"{ALLOW_REGRESSION_ENV}=1 if intentional")
     return "\n".join(lines)

@@ -138,6 +138,7 @@ class HistoryRecorder:
 
     def install(self) -> "HistoryRecorder":
         self.env.history = self
+        self.env.rebind_hooks()
         return self
 
     # ------------------------------------------------------------------

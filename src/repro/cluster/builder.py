@@ -24,7 +24,8 @@ from repro.clocks import GlobalTimeDevice
 from repro.errors import SimulationError
 from repro.obs import default_monitor_rules, enable_observability
 from repro.replication.quorum import ReplicationPolicy
-from repro.replication.shipper import LogShipper, ShipperConfig
+from repro.replication.shipper import (LogShipper, ShipperConfig,
+                                       replica_backlog)
 from repro.sim.core import Environment
 from repro.sim.network import Network
 from repro.sim.rand import RandomStreams
@@ -363,7 +364,8 @@ def build_cluster(config: ClusterConfig) -> GlobalDB:
             primary.acks.add_replica(replica.name, replica_region)
             shippers.append(LogShipper(
                 env, network, primary.engine.wal, primary.name, replica.name,
-                config=config.shipper))
+                config=config.shipper,
+                backlog_fn=replica_backlog(primary, replica.name)))
 
     # --- Computing nodes.
     cn_config = config.cn_config or CnConfig(ror_enabled=config.ror_enabled)

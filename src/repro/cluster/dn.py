@@ -127,7 +127,7 @@ class DataNode(ClusterNode):
         yield self.pool.acquire()
         try:
             if cost_ns:
-                yield self.env.timeout(cost_ns)
+                yield self.env.sleep(cost_ns)
         finally:
             self.pool.release()
         self.ops_served += 1
@@ -136,7 +136,7 @@ class DataNode(ClusterNode):
         """Start the background MVCC vacuum loop."""
         def loop():
             while True:
-                yield self.env.timeout(interval_ns)
+                yield self.env.sleep(interval_ns)
                 if self.failed:
                     continue
                 if self.is_primary and self.engine is not None:
@@ -251,14 +251,39 @@ class DataNode(ClusterNode):
     # ------------------------------------------------------------------
     # One-way notices: redo batches and acks
     # ------------------------------------------------------------------
+    #: Truncate the WAL prefix once this many records are applied
+    #: everywhere (amortizes the list surgery and keeps the record pools
+    #: warm without truncating on every ack).
+    wal_truncate_batch = 1024
+
     def _on_notice(self, payload: tuple, message: Message) -> None:
         kind = payload[0]
         if kind == "redo_batch" and self.replayer is not None:
             _kind, src, records = payload
             self._receive_redo(src, records)
         elif kind == "redo_ack" and self.acks is not None:
-            _kind, replica, lsn = payload
-            self.acks.on_ack(replica, lsn)
+            # Acks carry (replica, received_lsn, applied_lsn); tolerate the
+            # legacy 3-tuple without the applied watermark.
+            if len(payload) == 4:
+                _kind, replica, lsn, applied_lsn = payload
+            else:
+                _kind, replica, lsn = payload
+                applied_lsn = 0
+            self.acks.on_ack(replica, lsn, applied_lsn)
+            self._maybe_truncate_wal()
+
+    def _maybe_truncate_wal(self) -> None:
+        """Recycle the WAL prefix every replica has already applied.
+
+        Safe because catch-up fetches start at the requester's enqueued
+        LSN (>= its applied LSN) and in-flight batches only carry records
+        above the receiver's applied LSN, so nothing at or below
+        ``min_applied_lsn`` can ever be read or referenced again.
+        """
+        min_applied = self.acks.min_applied_lsn()
+        wal = self.engine.wal
+        if min_applied - wal.start_lsn + 1 >= self.wal_truncate_batch:
+            wal.truncate_below(min_applied + 1)
 
     # ------------------------------------------------------------------
     # Replica-side redo reception with gap detection
@@ -291,9 +316,12 @@ class DataNode(ClusterNode):
             return
         self.replayer.enqueue(fresh)
         self._enqueued_lsn = fresh[-1].lsn
-        # Ack persistence of the contiguous prefix (quorum is on receipt).
+        # Ack persistence of the contiguous prefix (quorum is on receipt);
+        # piggyback the applied watermark so the primary can truncate and
+        # recycle the fully-replayed WAL prefix at no extra message cost.
         self.network.send(self.name, src,
-                          ("redo_ack", self.name, self._enqueued_lsn),
+                          ("redo_ack", self.name, self._enqueued_lsn,
+                           self.store.applied_lsn),
                           size_bytes=64)
 
     def _flush_buffer(self, src: str) -> None:
@@ -332,10 +360,9 @@ class DataNode(ClusterNode):
         """Primary side of catch-up: stream everything after the
         requester's last contiguous LSN."""
         _kind, from_lsn = request.body
-        request.reply(self.engine.wal.records_from(from_lsn),
-                      size_bytes=max(128, sum(
-                          record.size_bytes()
-                          for record in self.engine.wal.records_from(from_lsn))))
+        records = self.engine.wal.records_from(from_lsn)
+        request.reply(records, size_bytes=max(128, sum(
+            record.size_bytes() for record in records)))
 
     # ------------------------------------------------------------------
     # Reads (primary)

@@ -18,7 +18,8 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass, field
 
-from repro.replication.shipper import LogShipper, ShipperConfig
+from repro.replication.shipper import (LogShipper, ShipperConfig,
+                                       replica_backlog)
 from repro.sim.core import Environment
 from repro.sim.events import settle
 from repro.sim.network import Network
@@ -64,7 +65,7 @@ class FailoverManager:
 
     def _run(self):
         while True:
-            yield self.env.timeout(self.probe_interval_ns)
+            yield self.env.sleep(self.probe_interval_ns)
             probes = {
                 shard: self.network.request(
                     self.name, primary.name, ("status",),
@@ -122,7 +123,8 @@ class FailoverManager:
             chosen.acks.add_replica(replica.name, replica.region)
             self.shippers.append(LogShipper(
                 self.env, self.network, chosen.engine.wal, chosen.name,
-                replica.name, config=self.shipper_config))
+                replica.name, config=self.shipper_config,
+                backlog_fn=replica_backlog(chosen, replica.name)))
         self.replicas[shard] = [replica for replica in self.replicas[shard]
                                 if replica is not chosen]
         # Push the new placement to every CN (config-channel update plus

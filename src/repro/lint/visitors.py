@@ -1,4 +1,4 @@
-"""The built-in simlint rules (SIM101–SIM106, SIM111).
+"""The built-in simlint rules (SIM101–SIM106, SIM111, SIM112).
 
 Each rule targets a determinism or sim-safety hazard this codebase has
 actually hit or is structurally exposed to:
@@ -19,6 +19,12 @@ SIM111    fault-injection primitives (partitions, delay injection,
           endpoint up/down, link/clock mutation) outside the
           sanctioned layers — all chaos must flow through
           `repro.chaos` so it is scheduled, recorded, and healed
+SIM112    hot-path dispatch hazards: direct `heapq` use outside the
+          kernel (`repro.sim` owns event ordering — ad-hoc heaps
+          re-introduce comparison-based ordering of unorderable
+          payloads), and per-event `getattr(self, f"_handle_{...}")`
+          string-building dispatch — precompute a handler dict once
+          at `__init__` instead
 ========  ==========================================================
 """
 
@@ -445,3 +451,73 @@ class FaultInjectionRule(Rule):
                             f"outside repro.chaos — use a partition/"
                             f"degradation injector so the fault heals "
                             f"deterministically")
+
+
+# ----------------------------------------------------------------------
+# SIM112 — hot-path dispatch hazards
+# ----------------------------------------------------------------------
+@register
+class HotPathDispatchRule(Rule):
+    code = "SIM112"
+    name = "hot-path-dispatch"
+    description = ("Direct heapq use outside repro.sim (the calendar-queue "
+                   "kernel owns event ordering; ad-hoc heaps re-introduce "
+                   "comparison-based ordering of unorderable payloads) and "
+                   "per-event getattr(self, f'_handle_{...}') string-built "
+                   "dispatch — precompute a handler dict at __init__.")
+
+    #: Module prefixes where heapq is legitimate: the sim kernel itself,
+    #: whose ordering the calendar queue implements and whose events carry
+    #: explicit (when, priority, seq) keys.
+    heapq_allowed_prefixes: tuple[str, ...] = ("repro.sim",)
+
+    def check(self, module: Module) -> typing.Iterator[Finding]:
+        yield from self._check_heapq(module)
+        yield from self._check_dispatch(module)
+
+    def _check_heapq(self, module: Module) -> typing.Iterator[Finding]:
+        if any(module.name == prefix
+               or module.name.startswith(prefix + ".")
+               for prefix in self.heapq_allowed_prefixes):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq" or \
+                            alias.name.startswith("heapq."):
+                        yield self._heapq_finding(module, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq" and not node.level:
+                    yield self._heapq_finding(module, node)
+
+    def _heapq_finding(self, module: Module, node: ast.AST) -> Finding:
+        return self.finding(
+            module, node,
+            "direct heapq use outside repro.sim — the kernel's calendar "
+            "queue owns event ordering; schedule through Environment "
+            "(schedule/defer/timeout) or, for domain priority queues, "
+            "key entries explicitly and keep them out of the event loop")
+
+    def _check_dispatch(self, module: Module) -> typing.Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("getattr", "hasattr")
+                    and len(node.args) >= 2):
+                continue
+            name_arg = node.args[1]
+            # Only string-*building* name arguments are per-event dispatch:
+            # f-strings and '+' concatenation rebuild the attribute name on
+            # every call. A plain Name (e.g. iterating dir(self) once in
+            # __init__ to precompute the handler dict) is the sanctioned
+            # pattern and stays silent.
+            if isinstance(name_arg, ast.JoinedStr) or \
+                    (isinstance(name_arg, ast.BinOp)
+                     and isinstance(name_arg.op, ast.Add)):
+                yield self.finding(
+                    module, node,
+                    f"per-event '{node.func.id}(self, <built name>)' "
+                    f"dispatch rebuilds the attribute name and walks the "
+                    f"type's MRO on every message — precompute a handler "
+                    f"dict once in __init__ (see ClusterNode/GTMServer) "
+                    f"and look the kind up in it")

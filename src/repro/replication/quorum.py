@@ -69,16 +69,33 @@ class AckTracker:
         #: replica endpoint name -> region
         self.replica_regions = dict(replica_regions)
         self.acked: dict[str, int] = {name: 0 for name in self.replica_regions}
+        #: replica endpoint name -> highest *applied* (replayed) LSN it has
+        #: reported. Lags ``acked`` (receipt); its minimum bounds how much
+        #: WAL prefix the primary may truncate.
+        self.applied: dict[str, int] = {name: 0 for name in self.replica_regions}
         self._waiters: list[_Waiter] = []
+        # Shared pre-settled event for waits that are satisfied on arrival
+        # (async policy, or a quorum already met). Yielding it resumes the
+        # process inline without touching the event queue, so async-policy
+        # commits cost zero kernel events here.
+        done = Event(env)
+        done._ok = True
+        done._value = True
+        done.callbacks = None
+        self._done = done
 
     def add_replica(self, name: str, region: str) -> None:
         self.replica_regions[name] = region
         self.acked.setdefault(name, 0)
+        self.applied.setdefault(name, 0)
 
-    def on_ack(self, replica: str, lsn: int) -> None:
-        """A replica acknowledged persistence up to ``lsn``."""
+    def on_ack(self, replica: str, lsn: int, applied_lsn: int = 0) -> None:
+        """A replica acknowledged persistence up to ``lsn`` (and, when the
+        ack carries it, replay up to ``applied_lsn``)."""
         if lsn > self.acked.get(replica, 0):
             self.acked[replica] = lsn
+        if applied_lsn > self.applied.get(replica, 0):
+            self.applied[replica] = applied_lsn
         if not self._waiters:
             return
         still_waiting = []
@@ -93,12 +110,13 @@ class AckTracker:
     def wait_for(self, lsn: int, policy: ReplicationPolicy) -> Event:
         """Event that fires once ``policy`` is satisfied for ``lsn``.
 
-        Fires immediately for async policies or already-satisfied quorums.
+        Fires immediately for async policies or already-satisfied quorums —
+        those return a shared pre-settled event instead of allocating and
+        scheduling a fresh one per commit.
         """
-        event = Event(self.env)
         if not policy.synchronous or self._satisfied(lsn, policy):
-            event.succeed(True)
-            return event
+            return self._done
+        event = Event(self.env)
         self._waiters.append(_Waiter(lsn=lsn, event=event, policy=policy))
         return event
 
@@ -122,3 +140,9 @@ class AckTracker:
         if not self.acked:
             return 0
         return min(self.acked.values())
+
+    def min_applied_lsn(self) -> int:
+        """Lowest applied LSN across replicas — the WAL truncation floor."""
+        if not self.applied:
+            return 0
+        return min(self.applied.values())

@@ -2,9 +2,18 @@
 
 The shipper subscribes to the primary's WAL and forwards records in
 batches. Batching policy: flush as soon as the pending batch reaches
-``max_batch_bytes``, or after ``flush_interval_ns`` from the first pending
+``max_batch_bytes``, or after one flush window from the first pending
 record — so a lone commit record doesn't wait around, but bulk traffic
-amortizes per-message costs.
+amortizes per-message costs. The window is *backlog-keyed*: when the
+destination replica is far behind (measured by its last reported applied
+LSN), the window widens up to ``max_widen``x so catch-up traffic moves in
+fewer, larger batches instead of paying per-flush overhead on a channel
+whose freshness is already lost.
+
+The shipper is pure callbacks — an append either triggers an inline flush
+(size threshold) or arms one deferred flush timer for the whole window, so
+an idle channel costs zero simulation events and a busy one costs one
+timer per batch rather than a wake event per record.
 
 Byte accounting per flush (this is where the paper's §V-A optimisations
 act):
@@ -20,11 +29,11 @@ act):
 
 from __future__ import annotations
 
+import typing
 from dataclasses import dataclass
 
 from repro.obs.metrics import SIZE_BUCKETS
 from repro.sim.core import Environment
-from repro.sim.events import Event
 from repro.sim.network import Network
 from repro.sim.transport import TransportConfig
 from repro.sim.units import ms, SECOND
@@ -39,6 +48,10 @@ class ShipperConfig:
     transport: TransportConfig
     max_batch_bytes: int = 64 * 1024
     flush_interval_ns: int = ms(1)
+    #: Every ``backlog_per_widen`` records the destination is behind widens
+    #: the flush window by one base interval (capped at ``max_widen``x).
+    backlog_per_widen: int = 512
+    max_widen: int = 8
 
     @classmethod
     def baseline(cls) -> "ShipperConfig":
@@ -49,33 +62,58 @@ class ShipperConfig:
         return cls(transport=TransportConfig.optimized())
 
 
+def replica_backlog(primary, replica_name: str) -> typing.Callable[[], int]:
+    """``backlog_fn`` for a primary->replica channel: how many records the
+    replica has yet to apply, judged from the applied watermark its acks
+    piggyback. Grows while the replica lags, so the shipper's flush window
+    widens exactly when per-flush overhead buys nothing."""
+    def backlog() -> int:
+        return (primary.engine.wal.last_lsn
+                - primary.acks.applied.get(replica_name, 0))
+    return backlog
+
+
 class LogShipper:
     """Ships one primary WAL to one replica endpoint."""
 
     def __init__(self, env: Environment, network: Network, wal: WalBuffer,
-                 src: str, dst: str, config: ShipperConfig | None = None):
+                 src: str, dst: str, config: ShipperConfig | None = None,
+                 backlog_fn: typing.Callable[[], int] | None = None):
         self.env = env
         self.network = network
         self.wal = wal
         self.src = src
         self.dst = dst
         self.config = config or ShipperConfig.optimized()
+        #: Returns how many records the destination has yet to apply;
+        #: drives the backlog-keyed window widening. None => fixed window.
+        self.backlog_fn = backlog_fn
         self._pending: list[RedoRecord] = []
         self._pending_bytes = 0
-        self._wake: Event | None = None
         self._last_send_at: int | None = None
         self.flushes = 0
         self.payload_bytes_total = 0
         self.wire_bytes_total = 0
         self.nagle_stall_ns_total = 0
+        self.widened_windows = 0
         self.paused = False
         self._batch_opened_at = env.now
+        # Generation counter for flush timers: arming bumps it, and a
+        # firing timer whose generation is stale (superseded by a size
+        # flush, a pause, or a re-arm) is a no-op. This is how a plain
+        # ``defer`` gets cancellation without a process or extra events.
+        self._flush_gen = 0
+        self._timer_armed = False
         # Catch up on anything already in the WAL, then follow appends.
         for record in wal.records_from(0):
             self._pending.append(record)
             self._pending_bytes += record.size_bytes()
         wal.subscribe(self._on_append)
-        self._process = env.process(self._run(), name=f"ship:{src}->{dst}")
+        if self._pending:
+            if self._pending_bytes >= self.config.max_batch_bytes:
+                self._flush()
+            else:
+                self._arm(self._window_ns())
 
     # ------------------------------------------------------------------
     def _on_append(self, record: RedoRecord) -> None:
@@ -83,28 +121,39 @@ class LogShipper:
             self._batch_opened_at = self.env.now
         self._pending.append(record)
         self._pending_bytes += record.size_bytes()
-        if self._wake is not None and not self._wake.triggered:
-            self._wake.succeed()
+        if self.paused:
+            return  # hold records; resume() restarts the window
+        if self._pending_bytes >= self.config.max_batch_bytes:
+            self._cancel_timer()
+            self._flush()
+        elif not self._timer_armed:
+            self._arm(self._window_ns())
 
-    def _run(self):
-        while True:
-            if not self._pending:
-                self._wake = Event(self.env)
-                yield self._wake
-                self._wake = None
-            # Batch up: wait for more records until size or time threshold.
-            deadline = self.env.now + self.config.flush_interval_ns
-            while (self._pending_bytes < self.config.max_batch_bytes
-                   and self.env.now < deadline):
-                remaining = deadline - self.env.now
-                self._wake = Event(self.env)
-                timer = self.env.timeout(remaining)
-                yield self.env.any_of([self._wake, timer])
-                self._wake = None
-            if self.paused:
-                # Failure injection: drop nothing, just hold shipment.
-                yield self.env.timeout(self.config.flush_interval_ns)
-                continue
+    def _window_ns(self) -> int:
+        base = self.config.flush_interval_ns
+        backlog_fn = self.backlog_fn
+        if backlog_fn is None:
+            return base
+        widen = 1 + backlog_fn() // self.config.backlog_per_widen
+        if widen <= 1:
+            return base
+        self.widened_windows += 1
+        return base * min(widen, self.config.max_widen)
+
+    def _arm(self, delay_ns: int) -> None:
+        self._flush_gen += 1
+        self._timer_armed = True
+        self.env.defer(delay_ns, self._on_timer, self._flush_gen)
+
+    def _cancel_timer(self) -> None:
+        self._flush_gen += 1
+        self._timer_armed = False
+
+    def _on_timer(self, gen: int) -> None:
+        if gen != self._flush_gen:
+            return  # superseded
+        self._timer_armed = False
+        if not self.paused:
             self._flush()
 
     def _flush(self) -> None:
@@ -143,7 +192,8 @@ class LogShipper:
         tracer = self.env.tracer
         if tracer.enabled:
             tracer.complete("repl.ship", "flush", self._batch_opened_at,
-                            self.env.now, track=f"ship:{self.src}->{self.dst}",
+                            self.env.now,
+                            track=f"ship:{self.src}->{self.dst}",
                             records=len(records), payload_bytes=payload_bytes,
                             wire_bytes=wire_bytes)
         if self.env.series_on:
@@ -176,9 +226,12 @@ class LogShipper:
     def pause(self) -> None:
         """Failure injection: stop shipping (records keep accumulating)."""
         self.paused = True
+        self._cancel_timer()
 
     def resume(self) -> None:
         self.paused = False
+        if self._pending:
+            self._arm(self._window_ns())
 
     def compression_ratio_achieved(self) -> float:
         if not self.wire_bytes_total:

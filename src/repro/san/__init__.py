@@ -72,6 +72,7 @@ class Sanitizer:
 
     def install(self) -> "Sanitizer":
         self.env.san = self
+        self.env.rebind_hooks()
         return self
 
     # ------------------------------------------------------------------

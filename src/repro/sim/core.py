@@ -10,25 +10,56 @@ The kernel is deterministic: ties at equal timestamps are broken by a
 monotonically increasing sequence number, so two runs with the same seeds
 produce identical histories.
 
-Hot-path design (the perf harness in ``repro.bench.perf`` measures this):
+Scheduler design (the perf harness in ``repro.bench.perf`` measures this):
+
+The queue is a three-level calendar structure instead of a single binary
+heap. The invariant it preserves is the heap kernel's total order —
+``(when, priority, seq)`` ascending — without materializing the tuples:
+
+- **Level 0 — current-tick lanes.** Anything scheduled at ``now`` (the
+  overwhelmingly common case: ``succeed``/``fail``, message handlers,
+  process spawns) is a bare append to one of two FIFO lists, one per
+  priority. Appends cost no tuple, no comparison, no sift. FIFO order
+  *is* sequence order because ``_seq`` increases monotonically, and the
+  urgent lane is always drained before the normal lane resumes, which is
+  exactly what the priority field used to buy.
+- **Level 1 — per-timestamp buckets.** Future work goes into
+  ``dict[when -> list]`` buckets (a rare second dict for future urgent
+  entries). Insertion is a dict probe + append; order within a bucket is
+  again sequence order.
+- **Level 2 — timestamp heap.** A plain int min-heap of *distinct* future
+  timestamps. Each timestamp enters it exactly once (pushes are guarded
+  by bucket creation), so it is a fraction of the size of the old event
+  heap and its comparisons are int-vs-int, not tuple-vs-tuple.
+
+Advancing the clock pops the smallest timestamp and swaps its buckets in
+as the new lanes. Because time only moves forward and same-time work goes
+straight to the lanes, a timestamp can never be scheduled again after its
+tick ran — no stale-entry pruning is needed.
+
+Other hot-path notes:
 
 - ``now`` is a plain attribute, not a property — it is read on nearly every
   instruction of simulation code. Only the kernel writes it.
-- ``_seq`` is a plain int; every queue push increments it exactly once, so
-  the inlined pushes in ``repro.sim.events`` and :class:`_Call` entries keep
-  the same total order the un-inlined kernel produced.
+- ``_seq`` is a plain int; every push increments it exactly once, so the
+  inlined pushes in ``repro.sim.events`` keep the same total order the
+  un-inlined kernel produced (``events_scheduled`` still reports it).
 - :meth:`Environment.defer` schedules a bare ``fn(arg)`` call without
   allocating an :class:`Event`, a callbacks list, or a closure — the
-  network's delivery path uses it for every message.
-- ``metrics_on`` / ``trace_on`` cache the observability toggles as single
-  attribute loads for per-event instrumentation guards
-  (:func:`repro.obs.enable_observability` keeps them in sync).
+  network's delivery path uses it for every message. Fired ``_Call``
+  entries are recycled through a free list.
+- The ``run`` loops inline the dispatch (no per-event ``step()`` call).
+- ``metrics_on`` / ``trace_on`` cache the observability toggles;
+  ``hooks_net`` / ``hooks_txn`` fold them (plus ``san``/``history``) into
+  single pre-resolved guards re-bound by :meth:`Environment.rebind_hooks`
+  whenever an observer is installed, so disabled instrumentation costs one
+  attribute test per site instead of one per subsystem.
 """
 
 from __future__ import annotations
 
-import heapq
 import typing
+from heapq import heappop, heappush
 
 from repro.errors import SimulationError
 from repro.obs.metrics import NULL_REGISTRY
@@ -73,7 +104,7 @@ class Process(Event):
     can therefore ``yield proc`` to join on it.
     """
 
-    __slots__ = ("_generator", "name", "_target")
+    __slots__ = ("_generator", "name", "_target", "_sleep")
 
     def __init__(self, env: "Environment", generator: typing.Generator,
                  name: str | None = None):
@@ -83,13 +114,20 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
+        self._sleep: Timeout | None = None
         # Kick off the generator at the current time, urgently so a process
         # spawned "now" starts before pending normal-priority events. The
         # shared start signal replaces a per-process init Event; it consumes
         # one sequence number exactly like the Event used to.
-        env._seq = seq = env._seq + 1
-        heapq.heappush(env._queue,
-                       (env.now, PRIORITY_URGENT, seq, _Call(self._resume, _START)))
+        env._seq += 1
+        pool = env._call_pool
+        if pool:
+            call = pool.pop()
+            call.fn = self._resume
+            call.arg = _START
+        else:
+            call = _Call(self._resume, _START)
+        env._lane_urgent.append(call)
 
     @property
     def is_alive(self) -> bool:
@@ -171,8 +209,19 @@ class Environment:
         #: Current simulated true time in nanoseconds. Read-only for
         #: everyone but the kernel.
         self.now = initial_time
-        self._queue: list[tuple[int, int, int, typing.Any]] = []
+        # Calendar queue (see module docstring): current-tick lanes with
+        # read cursors, per-timestamp future buckets, and a min-heap of
+        # distinct future timestamps.
+        self._lane_urgent: list = []
+        self._lane_normal: list = []
+        self._cursor_urgent = 0
+        self._cursor_normal = 0
+        self._buckets: dict[int, list] = {}
+        self._buckets_urgent: dict[int, list] = {}
+        self._times: list[int] = []
         self._seq = 0
+        #: Free list of fired ``_Call`` entries for :meth:`defer` to reuse.
+        self._call_pool: list[_Call] = []
         self._active_process: Process | None = None
         # Observability handles (see repro.obs). The defaults are shared
         # no-op singletons, so instrumentation costs one attribute check
@@ -197,6 +246,27 @@ class Environment:
         #: unless installed (``REPRO_HISTORY=1`` or programmatically);
         #: same contract as ``san``: passive, never schedules events.
         self.history = None
+        #: Pre-resolved hook guards (see :meth:`rebind_hooks`): one test
+        #: on the hot path replaces a per-subsystem check cascade.
+        self.hooks_net = False
+        self.hooks_txn = False
+
+    def rebind_hooks(self) -> None:
+        """Re-fold the per-subsystem observer toggles into the single
+        pre-resolved hot-path guards.
+
+        Every installer (``repro.obs.enable_observability``,
+        ``repro.san.Sanitizer.install``, ``repro.check`` history capture)
+        must call this after flipping its toggle. A disabled hook site then
+        costs one attribute test instead of one per subsystem — and a
+        *bound no-op callable* would cost more than either (a Python call
+        is pricier than an int test), which is why the "pre-resolved
+        no-op" is a folded flag rather than a null method.
+        """
+        self.hooks_net = (self.metrics_on or self.trace_on
+                          or self.san is not None)
+        self.hooks_txn = (self.metrics_on or self.series_on
+                          or self.history is not None)
 
     @property
     def events_scheduled(self) -> int:
@@ -223,6 +293,47 @@ class Environment:
         """Start a new process driving ``generator``."""
         return Process(self, generator, name=name)
 
+    def sleep(self, delay: int, value: typing.Any = None) -> Timeout:
+        """Like :meth:`timeout`, but recycles the calling process's
+        previous sleep timer once it has fully fired.
+
+        Contract: the returned event must be yielded immediately by the
+        calling process and never handed to anyone else — the same object
+        comes back from the process's next ``sleep`` call. Yielding it
+        inside an ``any_of`` is fine: a timer that loses the race keeps
+        its pending callbacks list, which blocks reuse until it fires.
+        """
+        proc = self._active_process
+        if proc is None:
+            return Timeout(self, delay, value)
+        timer = proc._sleep
+        if timer is None or timer.callbacks is not None:
+            timer = Timeout(self, delay, value)
+            proc._sleep = timer
+            return timer
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        timer.callbacks = []
+        timer._value = value
+        timer._exception = None
+        timer._ok = True
+        timer.defused = False
+        timer.delay = delay
+        self._seq += 1
+        if delay == 0:
+            self._lane_normal.append(timer)
+        else:
+            when = self.now + delay
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [timer]
+                if when not in self._buckets_urgent:
+                    heappush(self._times, when)
+            else:
+                bucket.append(timer)
+        return timer
+
     # ------------------------------------------------------------------
     # Scheduling and execution
     # ------------------------------------------------------------------
@@ -231,40 +342,117 @@ class Environment:
         """Put a triggered event on the queue ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq = seq = self._seq + 1
-        heapq.heappush(self._queue, (self.now + delay, priority, seq, event))
+        self._seq += 1
+        if delay == 0:
+            if priority == PRIORITY_NORMAL:
+                self._lane_normal.append(event)
+            else:
+                self._lane_urgent.append(event)
+            return
+        when = self.now + delay
+        if priority == PRIORITY_NORMAL:
+            buckets = self._buckets
+            other = self._buckets_urgent
+        else:
+            buckets = self._buckets_urgent
+            other = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = [event]
+            if when not in other:
+                heappush(self._times, when)
+        else:
+            bucket.append(event)
 
     def defer(self, delay: int, fn, arg) -> _Call:
         """Schedule ``fn(arg)`` to run ``delay`` ns from now at normal
         priority, without allocating an Event. Consumes one sequence
-        number, exactly like scheduling an event would."""
-        call = _Call(fn, arg)
-        self._seq = seq = self._seq + 1
-        heapq.heappush(self._queue, (self.now + delay, PRIORITY_NORMAL, seq, call))
+        number, exactly like scheduling an event would. Fired entries are
+        recycled, so holders of a returned ``_Call`` may only mutate it
+        while it is provably unfired (see the network's coalescing guard).
+        """
+        pool = self._call_pool
+        if pool:
+            call = pool.pop()
+            call.fn = fn
+            call.arg = arg
+        else:
+            call = _Call(fn, arg)
+        self._seq += 1
+        if delay <= 0:
+            self._lane_normal.append(call)
+            return call
+        when = self.now + delay
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        if bucket is None:
+            buckets[when] = [call]
+            if when not in self._buckets_urgent:
+                heappush(self._times, when)
+        else:
+            bucket.append(call)
         return call
+
+    def _advance(self, when: int) -> None:
+        """Move the clock to ``when`` and swap that tick's buckets in as
+        the new lanes. Only called with lanes fully consumed."""
+        self.now = when
+        bucket = self._buckets_urgent.pop(when, None) if self._buckets_urgent else None
+        if bucket is not None:
+            self._lane_urgent = bucket
+        else:
+            lane = self._lane_urgent
+            if lane:
+                del lane[:]
+        bucket = self._buckets.pop(when, None)
+        if bucket is not None:
+            self._lane_normal = bucket
+        else:
+            lane = self._lane_normal
+            if lane:
+                del lane[:]
+        self._cursor_urgent = 0
+        self._cursor_normal = 0
 
     def peek(self) -> int | None:
         """Time of the next scheduled event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        if (self._cursor_urgent < len(self._lane_urgent)
+                or self._cursor_normal < len(self._lane_normal)):
+            return self.now
+        return self._times[0] if self._times else None
 
     def step(self) -> None:
         """Process exactly one event."""
-        queue = self._queue
-        if not queue:
-            raise SimulationError("cannot step an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(queue)
-        self.now = when
-        if event.__class__ is _Call:
-            event.fn(event.arg)
+        while True:
+            lane = self._lane_urgent
+            index = self._cursor_urgent
+            if index < len(lane):
+                self._cursor_urgent = index + 1
+                entry = lane[index]
+                break
+            lane = self._lane_normal
+            index = self._cursor_normal
+            if index < len(lane):
+                self._cursor_normal = index + 1
+                entry = lane[index]
+                break
+            times = self._times
+            if not times:
+                raise SimulationError("cannot step an empty event queue")
+            self._advance(heappop(times))
+        if entry.__class__ is _Call:
+            entry.fn(entry.arg)
+            entry.fn = entry.arg = None
+            self._call_pool.append(entry)
             return
-        callbacks = event.callbacks
-        event.callbacks = None
+        callbacks = entry.callbacks
+        entry.callbacks = None
         for callback in callbacks:
-            callback(event)
-        if event._ok is False and not event.defused:
+            callback(entry)
+        if entry._ok is False and not entry.defused:
             # A failed event nobody was waiting on: surface it rather than
             # silently dropping the error.
-            raise event._exception  # type: ignore[misc]
+            raise entry._exception  # type: ignore[misc]
 
     def run(self, until: int | Event | None = None) -> typing.Any:
         """Run the simulation.
@@ -273,15 +461,43 @@ class Environment:
         - ``until`` is an :class:`Event`: run until that event is processed,
           then return its value (raising its exception if it failed).
         - ``until`` is None: run until the event queue drains.
+
+        The dispatch loops are inlined copies of :meth:`step` — the per-event
+        function call is measurable at the scales the bench harness runs.
         """
-        step = self.step
+        call_pool = self._call_pool
         if isinstance(until, Event):
             stop = until
             while stop.callbacks is not None:
-                if not self._queue:
-                    raise SimulationError(
-                        "event queue drained before the awaited event fired")
-                step()
+                lane = self._lane_urgent
+                index = self._cursor_urgent
+                if index < len(lane):
+                    self._cursor_urgent = index + 1
+                    entry = lane[index]
+                else:
+                    lane = self._lane_normal
+                    index = self._cursor_normal
+                    if index < len(lane):
+                        self._cursor_normal = index + 1
+                        entry = lane[index]
+                    else:
+                        times = self._times
+                        if not times:
+                            raise SimulationError(
+                                "event queue drained before the awaited event fired")
+                        self._advance(heappop(times))
+                        continue
+                if entry.__class__ is _Call:
+                    entry.fn(entry.arg)
+                    entry.fn = entry.arg = None
+                    call_pool.append(entry)
+                    continue
+                callbacks = entry.callbacks
+                entry.callbacks = None
+                for callback in callbacks:
+                    callback(entry)
+                if entry._ok is False and not entry.defused:
+                    raise entry._exception  # type: ignore[misc]
             if stop._ok:
                 return stop._value
             stop.defused = True
@@ -291,16 +507,66 @@ class Environment:
             if until < self.now:
                 raise SimulationError(
                     f"cannot run backwards: now={self.now}, until={until}")
-            queue = self._queue
-            while queue and queue[0][0] <= until:
-                step()
-            self.now = until
-            return None
+            while True:
+                lane = self._lane_urgent
+                index = self._cursor_urgent
+                if index < len(lane):
+                    self._cursor_urgent = index + 1
+                    entry = lane[index]
+                else:
+                    lane = self._lane_normal
+                    index = self._cursor_normal
+                    if index < len(lane):
+                        self._cursor_normal = index + 1
+                        entry = lane[index]
+                    else:
+                        times = self._times
+                        if not times or times[0] > until:
+                            self.now = until
+                            return None
+                        self._advance(heappop(times))
+                        continue
+                if entry.__class__ is _Call:
+                    entry.fn(entry.arg)
+                    entry.fn = entry.arg = None
+                    call_pool.append(entry)
+                    continue
+                callbacks = entry.callbacks
+                entry.callbacks = None
+                for callback in callbacks:
+                    callback(entry)
+                if entry._ok is False and not entry.defused:
+                    raise entry._exception  # type: ignore[misc]
 
-        queue = self._queue
-        while queue:
-            step()
-        return None
+        while True:
+            lane = self._lane_urgent
+            index = self._cursor_urgent
+            if index < len(lane):
+                self._cursor_urgent = index + 1
+                entry = lane[index]
+            else:
+                lane = self._lane_normal
+                index = self._cursor_normal
+                if index < len(lane):
+                    self._cursor_normal = index + 1
+                    entry = lane[index]
+                else:
+                    times = self._times
+                    if not times:
+                        return None
+                    self._advance(heappop(times))
+                    continue
+            if entry.__class__ is _Call:
+                entry.fn(entry.arg)
+                entry.fn = entry.arg = None
+                call_pool.append(entry)
+                continue
+            callbacks = entry.callbacks
+            entry.callbacks = None
+            for callback in callbacks:
+                callback(entry)
+            if entry._ok is False and not entry.defused:
+                raise entry._exception  # type: ignore[misc]
 
     def run_for(self, duration: int) -> None:
         """Run for ``duration`` nanoseconds of simulated time."""

@@ -7,10 +7,13 @@ children have fired.
 
 Hot-path notes: every class here is ``__slots__``-ed and the trigger paths
 (:meth:`Event.succeed`, :meth:`Event.fail`, :class:`Timeout`) push onto the
-environment's queue directly instead of going through
-:meth:`~repro.sim.core.Environment.schedule`. Each push consumes exactly one
-sequence number, same as the generic path, so event ordering — and therefore
-every simulated history — is identical to the un-inlined kernel.
+environment's calendar queue directly instead of going through
+:meth:`~repro.sim.core.Environment.schedule`. ``succeed``/``fail`` always
+trigger *at the current tick*, so they reduce to a bare list append on the
+normal lane; only a delayed :class:`Timeout` touches the future buckets.
+Each push consumes exactly one sequence number, same as the generic path,
+so event ordering — and therefore every simulated history — is identical
+to the un-inlined kernel.
 """
 
 from __future__ import annotations
@@ -80,8 +83,8 @@ class Event:
         self._ok = True
         self._value = value
         env = self.env
-        env._seq = seq = env._seq + 1
-        heappush(env._queue, (env.now, PRIORITY_NORMAL, seq, self))
+        env._seq += 1
+        env._lane_normal.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -93,8 +96,8 @@ class Event:
         self._ok = False
         self._exception = exception
         env = self.env
-        env._seq = seq = env._seq + 1
-        heappush(env._queue, (env.now, PRIORITY_NORMAL, seq, self))
+        env._seq += 1
+        env._lane_normal.append(self)
         return self
 
     def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
@@ -123,8 +126,19 @@ class Timeout(Event):
         self._ok = True
         self.defused = False
         self.delay = delay
-        env._seq = seq = env._seq + 1
-        heappush(env._queue, (env.now + delay, PRIORITY_NORMAL, seq, self))
+        env._seq += 1
+        if delay == 0:
+            env._lane_normal.append(self)
+        else:
+            when = env.now + delay
+            buckets = env._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [self]
+                if when not in env._buckets_urgent:
+                    heappush(env._times, when)
+            else:
+                bucket.append(self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}ns>"

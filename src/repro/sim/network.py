@@ -109,7 +109,7 @@ class Link:
 
     __slots__ = ("latency_ns", "bandwidth_bps", "jitter_ns", "extra_delay_ns",
                  "blocked", "busy_until", "bytes_sent", "messages_sent",
-                 "_sched")
+                 "_sched_at", "_sched_seq", "_sched_call")
 
     def __init__(self, latency_ns: int, bandwidth_bps: float, jitter_ns: int = 0):
         self.latency_ns = latency_ns
@@ -120,9 +120,11 @@ class Link:
         self.busy_until = 0  # serialization queue tail
         self.bytes_sent = 0
         self.messages_sent = 0
-        # Last scheduled delivery on this link, for same-tick coalescing:
-        # (deliver_at, env._seq at push time, kernel _Call entry).
-        self._sched: tuple | None = None
+        # Last scheduled delivery on this link, for same-instant coalescing:
+        # deliver time, env._seq at push time, and the kernel _Call entry.
+        self._sched_at = -1
+        self._sched_seq = -1
+        self._sched_call = None
 
     def transmission_ns(self, size_bytes: int) -> int:
         """Time to clock ``size_bytes`` onto the wire."""
@@ -148,6 +150,12 @@ class Network:
         self.default_latency_ns = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        # Free list of Message shells. Only messages that provably cannot
+        # have escaped _deliver (RPC replies, drops to dead endpoints) are
+        # recycled, and never while the sanitizer is installed — repro.san
+        # keys in-flight fingerprints by id(message), which recycling
+        # would alias.
+        self._msg_pool: list[Message] = []
 
     # ------------------------------------------------------------------
     # Topology management
@@ -273,42 +281,60 @@ class Network:
             link.messages_sent += 1
             deliver_at = start_tx + tx + link.one_way_ns(jitter)
         deliver_at += extra_delay_ns
-        if env.metrics_on:
-            metrics = env.metrics
-            metrics.counter("net.messages", src=src, dst=dst).inc()
-            metrics.counter("net.bytes", src=src, dst=dst).inc(size_bytes)
-            metrics.histogram("net.delivery_ns").record(deliver_at - now)
-        if env.trace_on and src != dst:
-            # The delivery time is fully determined at send time, so the
-            # whole in-flight interval can be recorded as one span.
-            env.tracer.complete("net", _payload_kind(payload), now, deliver_at,
-                                track=f"net:{src}->{dst}", size=size_bytes)
-        message = Message(src, dst, payload, size_bytes, now, deliver_at)
-        san = env.san
+        san = None
+        if env.hooks_net:
+            if env.metrics_on:
+                metrics = env.metrics
+                metrics.counter("net.messages", src=src, dst=dst).inc()
+                metrics.counter("net.bytes", src=src, dst=dst).inc(size_bytes)
+                metrics.histogram("net.delivery_ns").record(deliver_at - now)
+            if env.trace_on and src != dst:
+                # The delivery time is fully determined at send time, so the
+                # whole in-flight interval can be recorded as one span.
+                env.tracer.complete("net", _payload_kind(payload), now, deliver_at,
+                                    track=f"net:{src}->{dst}", size=size_bytes)
+            san = env.san
+        pool = self._msg_pool
+        if pool:
+            message = pool.pop()
+            message.src = src
+            message.dst = dst
+            message.payload = payload
+            message.size_bytes = size_bytes
+            message.send_time = now
+            message.deliver_time = deliver_at
+        else:
+            message = Message(src, dst, payload, size_bytes, now, deliver_at)
         if san is not None:
             # Fingerprint the payload as it leaves the sender; _deliver
             # re-verifies it just before the handler runs.
             san.on_message_send(message)
         if link is not None:
-            # Same-link same-tick coalescing: if the link's previous
+            # Same-link same-instant coalescing: if the link's previous
             # delivery entry lands at the same instant AND nothing has been
             # scheduled since it was pushed (env._seq unchanged), this
             # message would have received the very next sequence number —
             # so appending it to that entry delivers it in exactly the slot
             # it would have occupied anyway. Bit-identical history, one
             # fewer queue entry (redo-log bursts hit this constantly).
-            sched = link._sched
-            if (sched is not None and sched[0] == deliver_at
-                    and sched[1] == env._seq):
-                call = sched[2]
+            # The strictly-future condition is load-bearing twice over: a
+            # same-tick (deliver_at == now) entry may have already fired —
+            # appending would silently drop the message — and a fired entry
+            # may have been recycled through the kernel's _Call pool. A
+            # future entry can have done neither without the clock moving
+            # or env._seq changing, both of which fail this guard.
+            if (link._sched_at == deliver_at and deliver_at > now
+                    and link._sched_seq == env._seq):
+                call = link._sched_call
                 if call.fn is self._deliver:
                     call.fn = self._deliver_batch
                     call.arg = [call.arg, message]
                 else:
                     call.arg.append(message)
                 return
-            call = env.defer(deliver_at - now, self._deliver, message)
-            link._sched = (deliver_at, env._seq, call)
+            link._sched_call = env.defer(deliver_at - now, self._deliver, message)
+            link._sched_at = deliver_at
+            link._sched_seq = env._seq
             return
         env.defer(deliver_at - now, self._deliver, message)
 
@@ -327,10 +353,9 @@ class Network:
             if self.env.metrics_on:
                 self.env.metrics.counter("net.dropped", src=message.src,
                                          dst=message.dst).inc()
-            payload = message.payload
-            if isinstance(payload, tuple) and payload and payload[0] == "__rpc_reply__":
-                # A reply addressed to a dead caller: nothing to do.
-                return
+            if san is None:
+                message.payload = None
+                self._msg_pool.append(message)
             return
         self.messages_delivered += 1
         endpoint.messages_received += 1
@@ -339,6 +364,11 @@ class Network:
         if isinstance(payload, tuple) and payload and payload[0] in (
                 "__rpc_reply__", "__rpc_fail__"):
             kind, reply_event, value = payload
+            # The reply is fully consumed right here — the Message shell
+            # cannot have escaped, so it is safe to recycle.
+            if san is None:
+                message.payload = None
+                self._msg_pool.append(message)
             if reply_event.triggered:
                 return  # caller timed out / gave up
             if kind == "__rpc_reply__":

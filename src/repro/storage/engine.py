@@ -131,13 +131,24 @@ class StorageEngine:
     def log_pending_commit(self, txid: int) -> int:
         """§IV-A: written before the commit timestamp is obtained."""
         self._unresolved.setdefault(txid, Event(self.env))
-        return self.wal.append(RedoPendingCommit(txid=txid))
+        record = self.wal.take(RedoPendingCommit)
+        if record is None:
+            record = RedoPendingCommit(txid=txid)
+        else:
+            record.txid = txid
+        return self.wal.append(record)
 
     def commit(self, txid: int, commit_ts: int) -> int:
         """Commit locally and log the commit record. Returns its LSN."""
         self.clog.commit(txid, commit_ts)
         self._undo.pop(txid, None)
-        lsn = self.wal.append(RedoCommit(txid=txid, commit_ts=commit_ts))
+        record = self.wal.take(RedoCommit)
+        if record is None:
+            record = RedoCommit(txid=txid, commit_ts=commit_ts)
+        else:
+            record.txid = txid
+            record.commit_ts = commit_ts
+        lsn = self.wal.append(record)
         self.locks.release_all(txid)
         self._note_commit_ts(commit_ts)
         self._resolve(txid)
@@ -198,7 +209,13 @@ class StorageEngine:
     def heartbeat(self, commit_ts: int) -> int:
         """Log a heartbeat so idle replicas keep advancing (§IV-A)."""
         self._note_commit_ts(commit_ts)
-        return self.wal.append(RedoHeartbeat(txid=0, commit_ts=commit_ts))
+        record = self.wal.take(RedoHeartbeat)
+        if record is None:
+            record = RedoHeartbeat(txid=0, commit_ts=commit_ts)
+        else:
+            record.txid = 0
+            record.commit_ts = commit_ts
+        return self.wal.append(record)
 
     def _note_commit_ts(self, commit_ts: int) -> None:
         if commit_ts > self.last_commit_ts:
@@ -257,8 +274,16 @@ class StorageEngine:
         version = RowVersion(key=key, data=dict(row), xmin=txid)
         heap.add_version(version)
         self._undo[txid].append(("insert", heap, version, None))
-        self.wal.append(RedoInsert(txid=txid, table=table, key=key,
-                                   row=version.data))
+        record = self.wal.take(RedoInsert)
+        if record is None:
+            record = RedoInsert(txid=txid, table=table, key=key,
+                                row=version.data)
+        else:
+            record.txid = txid
+            record.table = table
+            record.key = key
+            record.row = version.data
+        self.wal.append(record)
 
     def update(self, txid: int, table: str, key: tuple,
                changes: typing.Mapping[str, typing.Any]) -> dict | None:
@@ -277,8 +302,15 @@ class StorageEngine:
         version = RowVersion(key=key, data=new_data, xmin=txid)
         heap.add_version(version)
         self._undo[txid].append(("update", heap, version, current))
-        self.wal.append(RedoUpdate(txid=txid, table=table, key=key,
-                                   row=new_data))
+        record = self.wal.take(RedoUpdate)
+        if record is None:
+            record = RedoUpdate(txid=txid, table=table, key=key, row=new_data)
+        else:
+            record.txid = txid
+            record.table = table
+            record.key = key
+            record.row = new_data
+        self.wal.append(record)
         return new_data
 
     def delete(self, txid: int, table: str, key: tuple) -> bool:
@@ -290,7 +322,14 @@ class StorageEngine:
             return False
         current.xmax = txid
         self._undo[txid].append(("delete", heap, None, current))
-        self.wal.append(RedoDelete(txid=txid, table=table, key=key))
+        record = self.wal.take(RedoDelete)
+        if record is None:
+            record = RedoDelete(txid=txid, table=table, key=key)
+        else:
+            record.txid = txid
+            record.table = table
+            record.key = key
+        self.wal.append(record)
         return True
 
     def _current_for_write(self, heap: HeapTable, key: tuple,

@@ -201,7 +201,7 @@ class TimestampProvider:
             _ok, ts, wait_ns = reply
             if wait_ns:
                 started = self.env.now
-                yield self.env.timeout(wait_ns)
+                yield self.env.sleep(wait_ns)
                 self._note_wait(started, txid=txid)
             return ts
         if effective is TxnMode.DUAL:

@@ -1,0 +1,144 @@
+"""Property tests: the calendar-queue kernel is order-equivalent to a
+(when, priority, seq) heap.
+
+The PR that introduced the calendar queue replaced the heapq event loop
+with current-tick lanes + per-timestamp buckets + a min-heap of distinct
+future timestamps. Its correctness argument is that dispatch order is
+*identical* to the old kernel's lexicographic (when, priority, seq) heap
+order. These tests check exactly that against a reference heapq model,
+over randomized programs that schedule urgent/normal events, deferred
+callbacks and timeouts — including re-entrant scheduling from inside
+callbacks (same-tick lane appends, the calendar queue's trickiest path).
+
+The pinned-digest test in tests/test_perf_caches.py covers the same
+invariant end-to-end on the full cluster scenario; this file covers it
+exhaustively at the kernel surface.
+"""
+
+import heapq
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.core import Environment
+from repro.sim.events import (
+    Event,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Timeout,
+)
+
+#: Node kinds and the priority each occupies in the reference model.
+KINDS = {
+    "event_urgent": PRIORITY_URGENT,
+    "event_normal": PRIORITY_NORMAL,
+    "defer": PRIORITY_NORMAL,    # defer() uses the normal lane/buckets
+    "timeout": PRIORITY_NORMAL,  # Timeout schedules itself normally
+}
+
+
+@st.composite
+def programs(draw):
+    """A forest of schedule operations. Each node fires at
+    ``parent_fire_time + delay`` and schedules its children from inside
+    its callback (re-entrant scheduling)."""
+    ids = itertools.count()
+
+    def node(depth: int) -> tuple:
+        delay = draw(st.integers(min_value=0, max_value=30))
+        kind = draw(st.sampled_from(sorted(KINDS)))
+        children = []
+        if depth < 2:
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                children.append(node(depth + 1))
+        return (next(ids), delay, kind, children)
+
+    return [node(0) for _ in range(draw(st.integers(min_value=1,
+                                                    max_value=10)))]
+
+
+def reference_order(program: list) -> list[tuple[int, int]]:
+    """Dispatch order under the old kernel's model: a single heap ordered
+    by (when, priority, seq), seq bumped on every push."""
+    heap: list = []
+    seq = itertools.count()
+    fired: list[tuple[int, int]] = []
+
+    def push(node, now):
+        node_id, delay, kind, _children = node
+        heapq.heappush(heap, (now + delay, KINDS[kind], next(seq), node))
+
+    for node in program:
+        push(node, 0)
+    while heap:
+        when, _priority, _seq, node = heapq.heappop(heap)
+        fired.append((node[0], when))
+        for child in node[3]:
+            push(child, when)
+    return fired
+
+
+def schedule_on(env: Environment, node: tuple, fired: list) -> None:
+    node_id, delay, kind, children = node
+
+    def fire(_arg) -> None:
+        fired.append((node_id, env.now))
+        for child in children:
+            schedule_on(env, child, fired)
+
+    if kind == "defer":
+        env.defer(delay, fire, None)
+    elif kind == "timeout":
+        timer = Timeout(env, delay)
+        timer.callbacks.append(fire)
+    else:
+        event = Event(env)
+        event.callbacks.append(fire)
+        env.schedule(event, delay=delay, priority=KINDS[kind])
+
+
+class TestCalendarQueueOrder:
+    @settings(max_examples=200, deadline=None)
+    @given(programs())
+    def test_matches_heap_reference(self, program):
+        env = Environment()
+        fired: list[tuple[int, int]] = []
+        for node in program:
+            schedule_on(env, node, fired)
+        env.run()
+        assert fired == reference_order(program)
+
+    @settings(max_examples=100, deadline=None)
+    @given(programs(), st.integers(min_value=1, max_value=17))
+    def test_chunked_run_until_matches_drain(self, program, stride):
+        """Driving the kernel through run(until=...) windows must produce
+        the same history as a single drain (exercises the inlined
+        until-int loop and its time-barrier handling)."""
+        env = Environment()
+        fired: list[tuple[int, int]] = []
+        for node in program:
+            schedule_on(env, node, fired)
+        while env.peek() is not None:
+            env.run(until=env.now + stride)
+        assert fired == reference_order(program)
+
+    def test_same_tick_urgent_beats_earlier_normal(self):
+        """Priority dominates insertion order within one tick."""
+        env = Environment()
+        fired: list[str] = []
+        normal = Event(env)
+        normal.callbacks.append(lambda _e: fired.append("normal"))
+        env.schedule(normal, delay=5, priority=PRIORITY_NORMAL)
+        urgent = Event(env)
+        urgent.callbacks.append(lambda _e: fired.append("urgent"))
+        env.schedule(urgent, delay=5, priority=PRIORITY_URGENT)
+        env.run()
+        assert fired == ["urgent", "normal"]
+
+    def test_fifo_within_same_tick_and_priority(self):
+        env = Environment()
+        fired: list[int] = []
+        for index in range(50):
+            env.defer(7, fired.append, index)
+        env.run()
+        assert fired == list(range(50))

@@ -290,6 +290,57 @@ class TestMutableDefault:
 
 
 # ----------------------------------------------------------------------
+# SIM112 — hot-path dispatch hazards
+# ----------------------------------------------------------------------
+class TestHotPathDispatch:
+    def test_flags_heapq_import_outside_sim(self):
+        found = findings_for("""
+            import heapq
+            from heapq import heappush, heappop
+        """, rule="SIM112", module_name="repro.storage.wal")
+        assert codes(found) == ["SIM112", "SIM112"]
+
+    def test_heapq_allowed_inside_sim_kernel(self):
+        found = findings_for("""
+            from heapq import heappop, heappush
+        """, rule="SIM112", module_name="repro.sim.core")
+        assert found == []
+
+    def test_flags_per_event_fstring_getattr(self):
+        found = findings_for("""
+            class Node:
+                def on_message(self, kind, request):
+                    handler = getattr(self, f"_handle_{kind}", None)
+                    if hasattr(self, "_pre_" + kind):
+                        handler(request)
+        """, rule="SIM112", module_name="repro.cluster.custom")
+        assert codes(found) == ["SIM112", "SIM112"]
+
+    def test_precomputed_handler_dict_is_clean(self):
+        found = findings_for("""
+            class Node:
+                def __init__(self):
+                    self._handlers = {
+                        attr[len("_handle_"):]: getattr(self, attr)
+                        for attr in dir(self)
+                        if attr.startswith("_handle_")
+                    }
+
+                def on_message(self, kind, request):
+                    self._handlers[kind](request)
+        """, rule="SIM112", module_name="repro.cluster.custom")
+        assert found == []
+
+    def test_constant_getattr_is_clean(self):
+        found = findings_for("""
+            class Node:
+                def probe(self, other):
+                    return getattr(other, "applied_lsn", 0)
+        """, rule="SIM112", module_name="repro.cluster.custom")
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 # Pragmas, baseline, reporters
 # ----------------------------------------------------------------------
 class TestSuppression:
