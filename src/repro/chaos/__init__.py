@@ -24,6 +24,7 @@ that implement the primitives.
 """
 
 from repro.chaos.injectors import (
+    INJECTOR_KINDS,
     AsymmetricPartition,
     BandwidthCollapse,
     ClockDriftBurst,
@@ -38,6 +39,8 @@ from repro.chaos.injectors import (
     RegionPartition,
     RegionSplit,
     SyncOutage,
+    injector_from_dict,
+    injector_to_dict,
 )
 from repro.chaos.nemeses import NEMESES, available_nemeses, make_nemesis
 from repro.chaos.schedule import (
@@ -67,6 +70,9 @@ __all__ = [
     "Nemesis",
     "ChaosEvent",
     "NEMESES",
+    "INJECTOR_KINDS",
     "available_nemeses",
     "make_nemesis",
+    "injector_to_dict",
+    "injector_from_dict",
 ]

@@ -43,6 +43,16 @@ class Injector:
     def heal(self, db: "GlobalDB") -> None:
         raise NotImplementedError
 
+    def params(self) -> dict:
+        """Constructor kwargs that rebuild an equivalent (fresh) injector.
+
+        Only configuration goes here — runtime state (saved link values,
+        crash victims) stays out, so a deserialized injector is always in
+        its pre-inject state. This is what lets :mod:`repro.explore`
+        serialize, mutate and replay fault schedules.
+        """
+        return {}
+
     def __repr__(self) -> str:  # stable, for event logs and tests
         return f"<{type(self).__name__} {self.name}>"
 
@@ -83,6 +93,9 @@ class RegionPartition(Injector):
         self.region_a = region_a
         self.region_b = region_b
 
+    def params(self) -> dict:
+        return {"region_a": self.region_a, "region_b": self.region_b}
+
     def inject(self, db, rng) -> str:
         db.network.set_partition(self.region_a, self.region_b, blocked=True)
         return f"{self.region_a}<->{self.region_b}"
@@ -98,6 +111,9 @@ class RegionSplit(Injector):
 
     def __init__(self, region: str):
         self.region = region
+
+    def params(self) -> dict:
+        return {"region": self.region}
 
     def inject(self, db, rng) -> str:
         for other in db.config.topology.regions:
@@ -125,6 +141,9 @@ class AsymmetricPartition(Injector):
         self.region_a = region_a
         self.region_b = region_b
         self._blocked: list = []
+
+    def params(self) -> dict:
+        return {"region_a": self.region_a, "region_b": self.region_b}
 
     def inject(self, db, rng) -> str:
         network = db.network
@@ -156,6 +175,9 @@ class LinkCut(Injector):
         self.src = src
         self.dst = dst
 
+    def params(self) -> dict:
+        return {"src": self.src, "dst": self.dst}
+
     def inject(self, db, rng) -> str:
         db.network.link(self.src, self.dst).blocked = True
         db.network.link(self.dst, self.src).blocked = True
@@ -180,6 +202,10 @@ class LatencySpike(Injector):
         self.region_a = region_a
         self.region_b = region_b
         self._saved: list = []
+
+    def params(self) -> dict:
+        return {"extra_ms": self.extra_ns / 1e6,
+                "region_a": self.region_a, "region_b": self.region_b}
 
     def inject(self, db, rng) -> str:
         self._saved = []
@@ -206,6 +232,9 @@ class JitterStorm(Injector):
         self.jitter_ns = ms(jitter_ms)
         self._saved: list = []
 
+    def params(self) -> dict:
+        return {"jitter_ms": self.jitter_ns / 1e6}
+
     def inject(self, db, rng) -> str:
         self._saved = []
         for _src, _dst, link in _cross_region_links(db):
@@ -227,6 +256,9 @@ class BandwidthCollapse(Injector):
     def __init__(self, factor: float = 100.0):
         self.factor = factor
         self._saved: list = []
+
+    def params(self) -> dict:
+        return {"factor": self.factor}
 
     def inject(self, db, rng) -> str:
         self._saved = []
@@ -263,6 +295,9 @@ class NodeCrash(Injector):
         self.kind = kind
         self.node_name = node
         self._victim = None
+
+    def params(self) -> dict:
+        return {"kind": self.kind, "node": self.node_name}
 
     def _candidates(self, db) -> list:
         if self.kind == "replica":
@@ -313,6 +348,9 @@ class ClockDriftBurst(Injector):
         self.factor = factor
         self._saved: list = []
 
+    def params(self) -> dict:
+        return {"region": self.region, "factor": self.factor}
+
     def inject(self, db, rng) -> str:
         self._saved = []
         for node in sorted((node for node in db.all_nodes()
@@ -347,6 +385,9 @@ class ClockStep(Injector):
         self.step_ns = us(step_us)
         self.region = region
 
+    def params(self) -> dict:
+        return {"step_us": self.step_ns / 1e3, "region": self.region}
+
     def inject(self, db, rng) -> str:
         nodes = sorted((node for node in db.all_nodes()
                         if self.region is None or node.region == self.region),
@@ -373,6 +414,9 @@ class SyncOutage(Injector):
 
     def __init__(self, region: str):
         self.region = region
+
+    def params(self) -> dict:
+        return {"region": self.region}
 
     def inject(self, db, rng) -> str:
         db.devices[self.region].fail()
@@ -441,3 +485,36 @@ class MigrationUnderFire(Injector):
 
     def heal(self, db) -> None:
         return
+
+
+# ----------------------------------------------------------------------
+# Serialization registry (used by the FaultSpec/FaultSchedule JSON codec)
+# ----------------------------------------------------------------------
+#: ``Injector.name`` -> class, for rebuilding injectors from dicts.
+INJECTOR_KINDS: dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        RegionPartition, RegionSplit, AsymmetricPartition, LinkCut,
+        LatencySpike, JitterStorm, BandwidthCollapse, NodeCrash,
+        ClockDriftBurst, ClockStep, SyncOutage, GtmOutage,
+        MigrationUnderFire,
+    )
+}
+
+
+def injector_to_dict(injector: Injector) -> dict:
+    """Serialize an injector's *configuration* (never runtime state)."""
+    return {"kind": injector.name, "params": injector.params()}
+
+
+def injector_from_dict(data: dict) -> Injector:
+    """Rebuild a fresh (pre-inject) injector from :func:`injector_to_dict`
+    output. Unknown kinds raise ``ValueError`` so a corrupt or
+    forward-versioned artifact fails loudly instead of silently skipping
+    faults."""
+    try:
+        cls = INJECTOR_KINDS[data["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown injector kind {data.get('kind')!r}") \
+            from None
+    return cls(**data.get("params", {}))

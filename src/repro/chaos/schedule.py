@@ -24,10 +24,12 @@ leaves the run clean.
 from __future__ import annotations
 
 import hashlib
+import json
 import typing
 from dataclasses import dataclass, field
 
-from repro.chaos.injectors import Injector
+from repro.chaos.injectors import (Injector, injector_from_dict,
+                                   injector_to_dict)
 from repro.sim.rand import RandomStreams
 from repro.sim.units import seconds
 
@@ -52,6 +54,24 @@ class FaultSpec:
             raise ValueError("every_s must exceed duration_s "
                              "(windows must not overlap themselves)")
 
+    # -- serialization (the repro.explore mutation/replay surface) -----
+    def to_dict(self) -> dict:
+        return {
+            "injector": injector_to_dict(self.injector),
+            "at_s": self.at_s,
+            "duration_s": self.duration_s,
+            "every_s": self.every_s,
+            "repeat": self.repeat,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(injector=injector_from_dict(data["injector"]),
+                   at_s=data["at_s"],
+                   duration_s=data.get("duration_s", 0.0),
+                   every_s=data.get("every_s"),
+                   repeat=data.get("repeat", 1))
+
 
 @dataclass(frozen=True)
 class FaultSchedule:
@@ -62,6 +82,29 @@ class FaultSchedule:
 
     def __post_init__(self):
         object.__setattr__(self, "specs", tuple(self.specs))
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        return cls(name=data["name"],
+                   specs=tuple(FaultSpec.from_dict(spec)
+                               for spec in data["specs"]))
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys) — equal schedules serialize
+        byte-identically, which the explorer's corpus dedup relies on."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(payload))
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
 
 
 @dataclass

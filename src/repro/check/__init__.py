@@ -31,9 +31,10 @@ from repro.check.history import (
     Op,
     maybe_install,
 )
-from repro.check.runner import run_many, run_seed
+from repro.check.runner import final_audit, run_many, run_seed
 
 __all__ = [
+    "final_audit",
     "Op",
     "History",
     "HistoryRecorder",

@@ -53,7 +53,7 @@ def run_seed(seed: int, nemesis: str = "default",
     # Let crash recovery, redo replay and RCP collection settle with the
     # faults gone before auditing the final state.
     db.env.run_for(seconds(SETTLE_S))
-    final_audit = _final_audit(db, recorder, bank_config)
+    audit_status = final_audit(db, recorder, bank_config.accounts)
 
     history = recorder.history()
     report = run_all_checks(history, accounts=bank_config.accounts,
@@ -79,13 +79,15 @@ def run_seed(seed: int, nemesis: str = "default",
         "chaos_digest": chaos.digest(),
         "history_digest": history.digest(),
         "failovers": len(db.failover.events) if db.failover else 0,
-        "final_audit": final_audit,
+        "final_audit": audit_status,
         **({"trace_digest": db.env.tracer.digest(),
             "trace_spans": len(db.env.tracer.spans)} if trace else {}),
     }
 
 
-def _final_audit(db, recorder: HistoryRecorder, bank_config) -> str:
+def final_audit(db, recorder: HistoryRecorder, accounts: int,
+                table: str = BANK_TABLE,
+                timeout_s: float = FINAL_AUDIT_TIMEOUT_S) -> str:
     """One last full-table read after quiesce, recorded into the history.
 
     Guarded by a timeout: a transaction left in-doubt by the nemesis (a
@@ -93,6 +95,11 @@ def _final_audit(db, recorder: HistoryRecorder, bank_config) -> str:
     forever, and the audit must not hang the harness with it. A blocked
     or failed audit is reported but is not itself a violation — the
     checkers judge only completed operations.
+
+    Public because it is the shared post-run probe of every in-process
+    experiment driver (``run_seed`` here, the :mod:`repro.explore` trial
+    runner): it returns ``"ok"``, ``"missing-rows"``, ``"failed"`` or
+    ``"blocked"`` and appends the audit read to ``recorder``.
     """
     env = db.env
     cn = db.cns[0]
@@ -103,10 +110,10 @@ def _final_audit(db, recorder: HistoryRecorder, bank_config) -> str:
     def audit():
         try:
             read_ts, use_ror = yield from cn.ro_snapshot(
-                [BANK_TABLE], min_read_ts=0)
+                [table], min_read_ts=0)
             rows = yield from cn._ro_fanout([
-                cn.g_ro_read(read_ts, use_ror, BANK_TABLE, (account,))
-                for account in range(bank_config.accounts)
+                cn.g_ro_read(read_ts, use_ror, table, (account,))
+                for account in range(accounts)
             ])
         except ReproError as exc:
             outcome.update(status="failed", error=str(exc))
@@ -118,9 +125,9 @@ def _final_audit(db, recorder: HistoryRecorder, bank_config) -> str:
 
     process = env.process(audit(), name="final-audit")
     env.run(until=env.any_of([process,
-                              env.timeout(seconds(FINAL_AUDIT_TIMEOUT_S))]))
+                              env.timeout(seconds(timeout_s))]))
     if outcome["status"] == "ok":
-        if len(outcome["balances"]) == bank_config.accounts:
+        if len(outcome["balances"]) == accounts:
             recorder.ok(op, read_ts=outcome["read_ts"],
                         use_ror=outcome["use_ror"],
                         balances=outcome["balances"])

@@ -18,7 +18,7 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass
 
-from repro.errors import TransactionAborted, WriteConflict
+from repro.errors import NetworkError, TransactionAborted, WriteConflict
 from repro.replication.quorum import AckTracker, ReplicationPolicy
 from repro.replication.replayer import Replayer
 from repro.replication.replica import ReplicaStore
@@ -620,8 +620,14 @@ class DataNode(ClusterNode):
                 earliest, _latest = self.gclock.bounds()
                 ts = max(self.engine.last_commit_ts, earliest)
             else:
-                counter = yield self.network.request(
-                    self.name, self.provider.gtm_name, ("begin",))
+                # Best-effort: a GTM outage must not kill the heartbeat
+                # path (or the node). Without a counter the frontier just
+                # doesn't advance past the last commit this round.
+                try:
+                    counter = yield self.network.request(
+                        self.name, self.provider.gtm_name, ("begin",))
+                except NetworkError:
+                    counter = 0
                 ts = max(self.engine.last_commit_ts, counter)
             self.engine.heartbeat(ts)
             request.reply(("ok", ts))

@@ -38,6 +38,10 @@ class FailoverEvent:
     in_doubt_aborted: int
     lost_commit_ts_window: int  # old frontier minus promoted frontier
     rcp_gap_healed: int = 0     # advertised RCP minus promoted frontier
+    #: Gap measured but NOT healed — nonzero only when ``rcp_guard`` is
+    #: off, i.e. the promotion broke the ROR promise. The repro.explore
+    #: oracle layer asserts this is always zero.
+    rcp_gap_unhealed: int = 0
 
 
 @dataclass
@@ -54,6 +58,12 @@ class FailoverManager:
     shippers: list
     probe_interval_ns: int = ms(50)
     grace_ns: int = ms(300)
+    #: ROR promotion guard (the PR-8 fix): heal the gap between a stale
+    #: promoted replica's redo frontier and the advertised RCP. Always on
+    #: in real clusters; ``repro.explore`` turns it off (its "rcp-gap"
+    #: known-bug injection) to prove the fuzzer rediscovers the historical
+    #: violation — never disable it outside that self-test.
+    rcp_guard: bool = True
     events: list = field(default_factory=list)
     _down_since: dict = field(default_factory=dict)
     _process: typing.Any = None
@@ -111,7 +121,7 @@ class FailoverManager:
         # the advertised RCP never see a gap they were promised not to.
         advertised_rcp = max((cn.rcp_state.rcp for cn in self.cns), default=0)
         rcp_gap = max(0, advertised_rcp - chosen.engine.last_commit_ts)
-        if rcp_gap:
+        if rcp_gap and self.rcp_guard:
             chosen.engine.heartbeat(advertised_rcp)
         # Rebuild the remaining replicas from the new primary and restart
         # shipping to them.
@@ -147,7 +157,8 @@ class FailoverManager:
             at_ns=self.env.now, shard=shard, old_primary=old_primary.name,
             new_primary=chosen.name, in_doubt_aborted=in_doubt,
             lost_commit_ts_window=max(0, old_frontier - promoted_frontier),
-            rcp_gap_healed=rcp_gap))
+            rcp_gap_healed=rcp_gap if self.rcp_guard else 0,
+            rcp_gap_unhealed=0 if self.rcp_guard else rcp_gap))
         if self.env.series_on:
             self.env.series.mark("failover.phase", shard=f"s{shard}",
                                  phase="promoted")

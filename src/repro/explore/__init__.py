@@ -1,0 +1,64 @@
+"""Coverage-guided simulation fuzzing (``python -m repro.explore``).
+
+The deterministic simulation kernel makes every cluster run a pure
+function of its :class:`~repro.explore.spec.TrialSpec` — so the classic
+coverage-guided fuzzing loop applies to *whole distributed-systems
+experiments*: sample a fault schedule + workload mix + topology + TM
+mode, run it fully armed (history recorder, sanitizer, RCP probe),
+extract a structural coverage signature from the obs trace, keep specs
+that cover new ground as mutation fodder, and when a trial violates a
+checker or an oracle, ddmin-shrink it to a minimal fault schedule and
+emit a replay artifact that reproduces the violation bit for bit.
+
+Module map:
+
+- :mod:`~repro.explore.spec` — the serializable trial spec
+- :mod:`~repro.explore.generator` — seeded generation + mutation
+- :mod:`~repro.explore.coverage` — trace → coverage signature
+- :mod:`~repro.explore.oracles` — structural failure oracles
+- :mod:`~repro.explore.runner` — run one spec, fully judged
+- :mod:`~repro.explore.corpus` — AFL-style coverage-keyed corpus
+- :mod:`~repro.explore.shrink` — ddmin + replay artifacts
+- :mod:`~repro.explore.engine` — the campaign loop
+- :mod:`~repro.explore.bugs` — known-bug injections (self-tests)
+"""
+
+from repro.explore.bugs import KNOWN_BUGS, apply_bug
+from repro.explore.corpus import Corpus, CorpusEntry
+from repro.explore.coverage import coverage_digest, trial_signature
+from repro.explore.engine import ExploreConfig, ExploreEngine
+from repro.explore.generator import GenParams, TrialGenerator, derive_rng
+from repro.explore.oracles import TrialViolation
+from repro.explore.runner import TrialResult, run_trial, violation_digest
+from repro.explore.shrink import (
+    ShrinkResult,
+    fingerprint,
+    make_artifact,
+    replay_artifact,
+    shrink,
+)
+from repro.explore.spec import TrialSpec
+
+__all__ = [
+    "TrialSpec",
+    "TrialResult",
+    "TrialViolation",
+    "TrialGenerator",
+    "GenParams",
+    "Corpus",
+    "CorpusEntry",
+    "ExploreConfig",
+    "ExploreEngine",
+    "ShrinkResult",
+    "KNOWN_BUGS",
+    "apply_bug",
+    "coverage_digest",
+    "trial_signature",
+    "derive_rng",
+    "run_trial",
+    "violation_digest",
+    "fingerprint",
+    "make_artifact",
+    "replay_artifact",
+    "shrink",
+]

@@ -1,0 +1,47 @@
+"""Known-bug injections: the fuzzer's own acceptance tests.
+
+A coverage-guided fuzzer that has never found a real bug is unfalsifiable.
+This registry re-introduces *historical* bugs this repo has already fixed
+(by flipping the guard that fixed them, never by patching code), so the
+test suite can assert the whole loop end to end: the explorer *finds* the
+violation, the shrinker reduces it to a minimal fault schedule, and the
+replay artifact reproduces it bit for bit.
+
+``rcp-gap``
+    Disables :attr:`repro.cluster.failover.FailoverManager.rcp_guard`,
+    restoring the pre-fix promotion path: a replica whose redo frontier
+    stalled behind the advertised RCP can be promoted without healing the
+    gap, so strongly-consistent replica reads on that shard silently
+    return stale rows. Surfaces as ``ror-frontier-coverage`` oracle
+    violations and/or balance-conservation checker failures.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.builder import GlobalDB
+
+
+def _rcp_gap(db: "GlobalDB") -> None:
+    if db.failover is None:
+        raise ValueError("rcp-gap needs auto_failover=True (it lives in "
+                         "the promotion path)")
+    db.failover.rcp_guard = False
+
+
+KNOWN_BUGS: dict[str, typing.Callable[["GlobalDB"], None]] = {
+    "rcp-gap": _rcp_gap,
+}
+
+
+def apply_bug(db: "GlobalDB", name: str | None) -> None:
+    """Re-introduce ``name`` on a freshly built cluster (no-op if None)."""
+    if name is None:
+        return
+    try:
+        KNOWN_BUGS[name](db)
+    except KeyError:
+        raise ValueError(f"unknown bug {name!r}; known: "
+                         f"{sorted(KNOWN_BUGS)}") from None

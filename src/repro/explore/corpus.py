@@ -1,0 +1,81 @@
+"""The explorer's corpus: specs that earned their keep by covering more.
+
+AFL economics, adapted: a trial's coverage signature (a set of coarse
+structural elements — see :mod:`repro.explore.coverage`) is compared
+against the union of everything the corpus has already covered. A trial
+contributing at least one new element is kept and becomes mutation fodder;
+one covering only known ground is discarded. Entries are deduped by spec
+digest, iteration is insertion-ordered, and the whole corpus serializes to
+sorted-key JSON, so two explorer processes with the same seed write
+byte-identical corpus files regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.explore.coverage import coverage_digest
+from repro.explore.spec import TrialSpec
+
+
+@dataclass
+class CorpusEntry:
+    spec: TrialSpec
+    signature: tuple[str, ...]
+    new_elements: tuple[str, ...]  # what this entry added when admitted
+
+    def to_dict(self) -> dict:
+        return {"spec": self.spec.to_dict(),
+                "signature": list(self.signature),
+                "new_elements": list(self.new_elements)}
+
+
+class Corpus:
+    """Coverage-keyed spec store with deterministic admission."""
+
+    def __init__(self):
+        self.entries: list[CorpusEntry] = []
+        self.coverage: set[str] = set()
+        self._digests: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def consider(self, spec: TrialSpec,
+                 signature: tuple[str, ...]) -> tuple[str, ...]:
+        """Admit ``spec`` iff its signature covers new ground; returns
+        the newly covered elements (empty tuple = rejected)."""
+        new = tuple(sorted(set(signature) - self.coverage))
+        self.coverage.update(signature)
+        if not new:
+            return ()
+        digest = spec.digest()
+        if digest in self._digests:
+            return ()
+        self._digests.add(digest)
+        self.entries.append(CorpusEntry(spec, signature, new))
+        return new
+
+    def pick(self, rng: random.Random) -> TrialSpec:
+        """Mutation fodder, biased toward recent (deeper) entries."""
+        if not self.entries:
+            raise IndexError("empty corpus")
+        index = max(rng.randrange(len(self.entries)),
+                    rng.randrange(len(self.entries)))
+        return self.entries[index].spec
+
+    # ------------------------------------------------------------------
+    def coverage_digest(self) -> str:
+        return coverage_digest(self.coverage)
+
+    def to_dict(self) -> dict:
+        return {
+            "entries": [entry.to_dict() for entry in self.entries],
+            "coverage": sorted(self.coverage),
+            "coverage_digest": self.coverage_digest(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)

@@ -1,0 +1,117 @@
+"""Structural coverage signatures over one trial's observable behavior.
+
+A signature is a sorted tuple of string *elements* extracted from the obs
+trace, the chaos event log, failover/migration records and the operation
+history. The elements are deliberately coarse — which fault×subsystem
+pairs co-occurred, which run phase each fault landed in, log₂ buckets of
+outcome counts — because the engine's feedback loop only needs to tell
+"this trial exercised something no previous trial did", not to diff runs.
+AFL's edge-coverage bitmap plays the same role.
+
+Element families:
+
+``fault:<kind>@<phase>``     a fault injected in the early/mid/late third
+``<kind>x<cat>``             span category ``cat`` active during the fault
+                             window (categories from repro.obs.trace)
+``failovers:<bucket>``       log₂ bucket of completed promotions
+``op:<type>:<status>``       an operation type/status pair seen in history
+``mode-end:<mode>``          the TM mode the cluster finished in
+``migration:...``            migration attempted / leg failed
+``commits:<bucket>``         log₂ bucket of committed transactions
+``audit:<status>``           the final guarded audit's outcome
+``quiesced``                 the nemesis had to heal something at the end
+``san:<kind>``               a sanitizer finding kind occurred
+
+Everything is computed from sorted iterations and hashed with hashlib, so
+signatures are stable across processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing
+
+from repro.obs.trace import window_categories
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.schedule import Nemesis
+    from repro.cluster.builder import GlobalDB
+
+
+def log2_bucket(count: int) -> str:
+    """0, 1, 2, 4, 8, ... — the canonical coarse count bucket."""
+    if count <= 0:
+        return "0"
+    return str(1 << (count.bit_length() - 1))
+
+
+def _phase(at_ns: int, run_ns: int) -> str:
+    if run_ns <= 0:
+        return "early"
+    third = at_ns * 3 // max(run_ns, 1)
+    return ("early", "mid", "late")[min(2, third)]
+
+
+def trial_signature(db: "GlobalDB", nemesis: "Nemesis", run_ns: int,
+                    history_ops: typing.Iterable,
+                    committed: int, audit_status: str,
+                    quiesced: int) -> tuple[str, ...]:
+    """Extract the coverage signature after a trial has fully settled."""
+    elements: set[str] = set()
+
+    # Fault windows x active subsystems. Inject/heal pairs are matched by
+    # fault name in log order; an unhealed one-shot's window is a point.
+    spans = db.env.tracer.spans
+    open_injects: dict[str, list] = {}
+    windows: list[tuple[str, int, int]] = []
+    for event in nemesis.events:
+        if event.action == "inject":
+            open_injects.setdefault(event.fault, []).append(event.at_ns)
+        elif event.action in ("heal", "quiesce"):
+            pending = open_injects.get(event.fault)
+            start = pending.pop(0) if pending else event.at_ns
+            windows.append((event.fault, start, event.at_ns))
+    for fault, starts in sorted(open_injects.items()):
+        windows.extend((fault, start, start) for start in starts)
+    for fault, start, end in windows:
+        elements.add(f"fault:{fault}@{_phase(start, run_ns)}")
+        for cat in window_categories(spans, start, end):
+            elements.add(f"{fault}x{cat}")
+
+    # Outcome structure.
+    statuses: dict[tuple[str, str], int] = {}
+    for op in history_ops:
+        statuses[(op.op, op.status)] = statuses.get((op.op, op.status), 0) + 1
+    for op_type, status in sorted(statuses):
+        elements.add(f"op:{op_type}:{status}")
+
+    if db.failover is not None:
+        elements.add(f"failovers:{log2_bucket(len(db.failover.events))}")
+    elements.add(f"mode-end:{db.gtm.mode.value}")
+    for fault_spec in nemesis.schedule.specs:
+        injector = fault_spec.injector
+        if injector.name == "migration-under-fire":
+            reports = getattr(injector, "reports", ())
+            errors = getattr(injector, "errors", ())
+            if reports:
+                elements.add(f"migration:legs:{log2_bucket(len(reports))}")
+            if errors:
+                elements.add("migration:leg-failed")
+    elements.add(f"commits:{log2_bucket(committed)}")
+    elements.add(f"audit:{audit_status}")
+    if quiesced:
+        elements.add("quiesced")
+    if db.env.san is not None:
+        for finding in db.env.san.report.findings:
+            elements.add(f"san:{finding.kind}")
+
+    return tuple(sorted(elements))
+
+
+def coverage_digest(elements: typing.Iterable[str]) -> str:
+    """Stable hash of a coverage element set (for run summaries)."""
+    hasher = hashlib.sha256()
+    for element in sorted(set(elements)):
+        hasher.update(element.encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()

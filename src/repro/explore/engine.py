@@ -1,0 +1,125 @@
+"""The exploration loop: generate → run → learn → (on failure) shrink.
+
+Classic coverage-guided fuzzing over whole cluster runs. Each iteration
+derives its own hashed RNG from ``(seed, trial index)``, picks either a
+fresh spec or a mutation of a corpus entry (biased toward mutation once
+the corpus is non-empty), runs it fully armed, and feeds the coverage
+signature back into the corpus. The first failing trial is handed to the
+ddmin shrinker and emitted as a replay artifact; exploration then stops
+(one minimized, replayable finding is worth more than a pile of raw
+ones — and CI wants the artifact, not the pile).
+
+Everything downstream of the seed is deterministic: same seed + same
+budget → byte-identical summary, corpus and artifact, across processes
+and ``PYTHONHASHSEED`` values. That is asserted by the test suite, not
+just claimed.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.explore.corpus import Corpus
+from repro.explore.generator import GenParams, TrialGenerator, derive_rng
+from repro.explore.runner import TrialResult, run_trial
+from repro.explore.shrink import ShrinkResult, make_artifact, shrink
+from repro.explore.spec import TrialSpec
+
+
+@dataclass
+class ExploreConfig:
+    """One exploration campaign's knobs."""
+
+    seed: int = 0
+    budget_trials: int = 25
+    #: Probability of mutating a corpus entry (vs generating fresh) once
+    #: the corpus is non-empty.
+    mutate_bias: float = 0.6
+    shrink_max_trials: int = 64
+    #: Known-bug injection for self-tests (see repro.explore.bugs).
+    inject_bug: str | None = None
+    stop_on_failure: bool = True
+    params: GenParams = field(default_factory=GenParams)
+
+
+class ExploreEngine:
+    """Drives one campaign; see the module docstring."""
+
+    def __init__(self, config: ExploreConfig | None = None,
+                 initial_specs: typing.Sequence[TrialSpec] = (),
+                 echo: typing.Callable[[str], None] | None = None):
+        self.config = config or ExploreConfig()
+        self.initial_specs = list(initial_specs)
+        self.echo = echo or (lambda line: None)
+        self.generator = TrialGenerator(self.config.params)
+        self.corpus = Corpus()
+        self.failures: list[TrialResult] = []
+        self.shrunk: ShrinkResult | None = None
+        self.artifact: dict | None = None
+        self.trials_run = 0
+
+    # ------------------------------------------------------------------
+    def _next_spec(self, index: int) -> TrialSpec:
+        if index < len(self.initial_specs):
+            return self.initial_specs[index]
+        rng = derive_rng(self.config.seed, f"trial:{index}")
+        if len(self.corpus) and rng.random() < self.config.mutate_bias:
+            return self.generator.mutate(rng, self.corpus.pick(rng), index)
+        return self.generator.fresh(rng, index)
+
+    def run(self) -> dict:
+        config = self.config
+        for index in range(config.budget_trials):
+            spec = self._next_spec(index)
+            result = run_trial(spec, inject_bug=config.inject_bug)
+            self.trials_run += 1
+            new = self.corpus.consider(spec, result.signature)
+            status = "FAIL" if not result.ok else \
+                ("new-coverage" if new else "known")
+            self.echo(f"trial {index}: {status} "
+                      f"({spec.fault_count} faults, {result.committed} "
+                      f"committed, {len(new)} new elements, corpus "
+                      f"{len(self.corpus)}, coverage "
+                      f"{len(self.corpus.coverage)})")
+            if not result.ok:
+                self.failures.append(result)
+                if config.stop_on_failure:
+                    self.echo(f"shrinking {spec.fault_count}-fault "
+                              f"reproducer...")
+                    self.shrunk = shrink(
+                        spec, result, inject_bug=config.inject_bug,
+                        max_trials=config.shrink_max_trials)
+                    self.trials_run += self.shrunk.trials_run
+                    self.artifact = make_artifact(self.shrunk,
+                                                  inject_bug=config.inject_bug)
+                    self.echo(f"minimized to {self.shrunk.final_faults} "
+                              f"fault(s) in {self.shrunk.trials_run} "
+                              f"shrink trials")
+                    break
+        return self.summary()
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        summary = {
+            "seed": self.config.seed,
+            "budget_trials": self.config.budget_trials,
+            "trials_run": self.trials_run,
+            "ok": not self.failures,
+            "failures": len(self.failures),
+            "corpus_size": len(self.corpus),
+            "coverage_elements": len(self.corpus.coverage),
+            "coverage_digest": self.corpus.coverage_digest(),
+        }
+        if self.config.inject_bug:
+            summary["inject_bug"] = self.config.inject_bug
+        if self.failures:
+            summary["violation_kinds"] = sorted(
+                {violation.get("kind") or violation.get("checker", "?")
+                 for result in self.failures
+                 for violation in result.violations})
+        if self.shrunk is not None:
+            summary["shrunk_faults"] = self.shrunk.final_faults
+            summary["violation_digest"] = \
+                self.shrunk.result.violation_digest
+        return summary

@@ -1,0 +1,246 @@
+"""Seeded trial generation and AFL-style mutation.
+
+The generator samples from the whole fault surface :mod:`repro.chaos`
+exposes — partitions, splits, asymmetric cuts, link degradation, node
+crashes (including *shard-targeted* crash storms that exploit the
+deterministic ``dn{shard}``/``dn{shard}r{i}`` naming), clock anomalies,
+sync/GTM outages and mode migration under fire — plus workload mixes,
+starting TM modes and t=0 timing perturbations. Mutation operators make
+small moves around a corpus entry: add/drop/retime/retarget one fault,
+flip the mode, grow or shrink the mix.
+
+Every random draw comes from the ``random.Random`` the engine hands in
+(derived from the engine seed and trial index through the same hashed
+scheme as :class:`repro.sim.rand.RandomStreams`), so generation is fully
+deterministic and independent of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, replace
+
+from repro.chaos.injectors import (
+    AsymmetricPartition,
+    BandwidthCollapse,
+    ClockDriftBurst,
+    ClockStep,
+    GtmOutage,
+    JitterStorm,
+    LatencySpike,
+    MigrationUnderFire,
+    NodeCrash,
+    RegionPartition,
+    RegionSplit,
+    SyncOutage,
+)
+from repro.chaos.schedule import FaultSchedule, FaultSpec
+from repro.explore.spec import FRAGMENT_NAMES, MODE_NAMES, TrialSpec
+
+#: Region lists per topology preset (mirrors repro.cluster.topology — the
+#: generator must know names without building a cluster).
+TOPOLOGY_REGIONS: dict[str, tuple[str, ...]] = {
+    "three_city": ("xian", "langzhong", "dongguan"),
+    "two_region": ("primary", "standby"),
+}
+
+#: Cluster layout constants the trial runner builds with (ClusterConfig
+#: defaults): shard primaries ``dn{s}``, replicas ``dn{s}r{i}``.
+SHARDS = 6
+REPLICAS_PER_SHARD = 2
+
+#: Quantum for every generated time: keeps mutated schedules on a small
+#: grid so the shrinker's "same schedule" dedup actually hits.
+TIME_GRID_S = 0.05
+
+
+def _quantize(value: float) -> float:
+    return round(round(value / TIME_GRID_S) * TIME_GRID_S, 4)
+
+
+@dataclass(frozen=True)
+class GenParams:
+    """Bounds the generator works within (one trial budget)."""
+
+    topology: str = "three_city"
+    duration_s: float = 0.6
+    warmup_s: float = 0.05
+    min_faults: int = 1
+    max_faults: int = 5
+    terminals: int = 4
+    accounts: int = 12
+
+
+class TrialGenerator:
+    """Samples fresh :class:`TrialSpec` values and mutates corpus picks."""
+
+    def __init__(self, params: GenParams | None = None):
+        self.params = params or GenParams()
+
+    # ------------------------------------------------------------------
+    # Fault sampling
+    # ------------------------------------------------------------------
+    def _regions(self) -> tuple[str, ...]:
+        return TOPOLOGY_REGIONS[self.params.topology]
+
+    def _region_pair(self, rng: random.Random) -> tuple[str, str]:
+        return tuple(rng.sample(list(self._regions()), 2))
+
+    def _sample_injector(self, rng: random.Random):
+        regions = self._regions()
+        choice = rng.randrange(12)
+        if choice == 0:
+            return RegionPartition(*self._region_pair(rng))
+        if choice == 1:
+            return RegionSplit(rng.choice(regions))
+        if choice == 2:
+            return AsymmetricPartition(*self._region_pair(rng))
+        if choice == 3:
+            return LatencySpike(extra_ms=rng.choice((10.0, 20.0, 40.0)))
+        if choice == 4:
+            return JitterStorm(jitter_ms=rng.choice((2.0, 5.0, 10.0)))
+        if choice == 5:
+            return BandwidthCollapse(factor=rng.choice((50.0, 100.0, 200.0)))
+        if choice == 6:
+            return NodeCrash(rng.choice(("replica", "replica", "primary",
+                                         "cn")))
+        if choice == 7:
+            return ClockDriftBurst(rng.choice(regions),
+                                   factor=rng.choice((4.0, 8.0, 12.0)))
+        if choice == 8:
+            return ClockStep(step_us=rng.choice((10.0, 20.0, 30.0)))
+        if choice == 9:
+            return SyncOutage(rng.choice(regions))
+        if choice == 10:
+            return GtmOutage()
+        return MigrationUnderFire()
+
+    def _sample_fault(self, rng: random.Random) -> FaultSpec:
+        injector = self._sample_injector(rng)
+        run_s = self.params.duration_s + self.params.warmup_s
+        at_s = _quantize(rng.uniform(0.05, max(0.1, run_s - 0.15)))
+        if injector.name in ("clock-step", "migration-under-fire"):
+            return FaultSpec(injector, at_s=at_s)   # one-shot by nature
+        duration_s = _quantize(rng.choice((0.1, 0.15, 0.2, 0.25)))
+        if rng.random() < 0.15:
+            every_s = _quantize(duration_s + rng.choice((0.15, 0.2)))
+            return FaultSpec(injector, at_s=at_s, duration_s=duration_s,
+                             every_s=every_s, repeat=2)
+        return FaultSpec(injector, at_s=at_s, duration_s=duration_s)
+
+    def stale_failover_pattern(self, rng: random.Random) -> list[FaultSpec]:
+        """Shard-targeted crash storm: stall one replica's redo frontier
+        while the RCP advances, then kill the caught-up replica and the
+        primary so the stale one is the only promotion candidate. This is
+        the pattern family that rediscovers the pre-PR-8 RCP-gap bug when
+        :mod:`repro.explore.bugs` re-introduces it."""
+        shard = rng.randrange(SHARDS)
+        laggard = rng.randrange(REPLICAS_PER_SHARD)
+        stall_at = _quantize(rng.choice((0.1, 0.15, 0.2)))
+        stall_for = _quantize(rng.choice((0.3, 0.35, 0.4)))
+        kill_at = _quantize(stall_at + stall_for + TIME_GRID_S)
+        specs = [
+            FaultSpec(NodeCrash("replica", node=f"dn{shard}r{laggard}"),
+                      at_s=stall_at, duration_s=stall_for),
+        ]
+        for index in range(REPLICAS_PER_SHARD):
+            if index != laggard:
+                specs.append(FaultSpec(
+                    NodeCrash("replica", node=f"dn{shard}r{index}"),
+                    at_s=kill_at))
+        specs.append(FaultSpec(NodeCrash("primary", node=f"dn{shard}"),
+                               at_s=kill_at))
+        return specs
+
+    # ------------------------------------------------------------------
+    # Fresh specs
+    # ------------------------------------------------------------------
+    def fresh(self, rng: random.Random, index: int) -> TrialSpec:
+        params = self.params
+        count = rng.randint(params.min_faults, params.max_faults)
+        specs = [self._sample_fault(rng) for _ in range(count)]
+        # Occasional t=0 environment perturbation: the kernel-timing
+        # dimension (jitter, inflated WAN latency) held for the whole run.
+        if rng.random() < 0.3:
+            ambient = rng.choice((JitterStorm(jitter_ms=2.0),
+                                  LatencySpike(extra_ms=10.0)))
+            specs.insert(0, FaultSpec(
+                ambient, at_s=0.0,
+                duration_s=params.duration_s + params.warmup_s))
+        # Occasional shard-targeted failover storm instead of noise.
+        if rng.random() < 0.15:
+            specs = self.stale_failover_pattern(rng) + specs[:2]
+        fragments: tuple[str, ...] = ("bank",)
+        if rng.random() < 0.35:
+            extras = [name for name in FRAGMENT_NAMES if name != "bank"]
+            fragments = ("bank", rng.choice(extras))
+        return TrialSpec(
+            seed=rng.randrange(1 << 30),
+            schedule=FaultSchedule(f"explore-{index}", tuple(specs)),
+            topology=params.topology,
+            mode=rng.choice(MODE_NAMES) if rng.random() < 0.3 else "gclock",
+            duration_s=params.duration_s,
+            warmup_s=params.warmup_s,
+            terminals=params.terminals,
+            accounts=params.accounts,
+            fragments=fragments,
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def mutate(self, rng: random.Random, spec: TrialSpec,
+               index: int) -> TrialSpec:
+        """One small move around ``spec`` (always returns a valid spec)."""
+        specs = list(spec.schedule.specs)
+        op = rng.randrange(8)
+        if op == 0 or not specs:                       # add a fault
+            specs.insert(rng.randint(0, len(specs)), self._sample_fault(rng))
+        elif op == 1 and len(specs) > 1:               # drop a fault
+            specs.pop(rng.randrange(len(specs)))
+        elif op == 2:                                  # retime a fault
+            victim = rng.randrange(len(specs))
+            shifted = _quantize(max(
+                0.0, specs[victim].at_s + rng.choice((-0.15, -0.05, 0.05,
+                                                      0.15))))
+            specs[victim] = replace(specs[victim], at_s=shifted)
+        elif op == 3:                                  # swap an injector
+            victim = rng.randrange(len(specs))
+            specs[victim] = replace(specs[victim],
+                                    injector=self._sample_injector(rng))
+        elif op == 4:                                  # stretch a window
+            victim = rng.randrange(len(specs))
+            fault = specs[victim]
+            if fault.duration_s > 0 and fault.every_s is None:
+                specs[victim] = replace(fault, duration_s=_quantize(
+                    max(TIME_GRID_S, fault.duration_s
+                        + rng.choice((-0.05, 0.05, 0.1)))))
+        elif op == 5:                                  # reseed the cluster
+            return replace(spec, seed=rng.randrange(1 << 30),
+                           schedule=FaultSchedule(f"explore-{index}",
+                                                  tuple(specs)))
+        elif op == 6:                                  # flip the TM mode
+            other = [mode for mode in MODE_NAMES if mode != spec.mode]
+            return replace(spec, mode=rng.choice(other),
+                           schedule=FaultSchedule(f"explore-{index}",
+                                                  tuple(specs)))
+        else:                                          # vary the mix
+            if len(spec.fragments) == 1:
+                extras = [name for name in FRAGMENT_NAMES if name != "bank"]
+                fragments: tuple[str, ...] = ("bank", rng.choice(extras))
+            else:
+                fragments = ("bank",)
+            return replace(spec, fragments=fragments,
+                           schedule=FaultSchedule(f"explore-{index}",
+                                                  tuple(specs)))
+        return replace(spec, schedule=FaultSchedule(f"explore-{index}",
+                                                    tuple(specs)))
+
+
+def derive_rng(seed: int, label: str) -> random.Random:
+    """A ``Random`` whose seed is a stable hash of ``(seed, label)`` —
+    the :class:`~repro.sim.rand.RandomStreams` scheme, usable without an
+    environment (hash-seed independent, unlike ``hash()``)."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,112 @@
+"""Trial specifications: the explorer's serializable unit of work.
+
+A :class:`TrialSpec` pins *everything* that can vary between two cluster
+runs — the cluster seed, topology preset, starting transaction-management
+mode, workload mix, scale knobs, and the full fault schedule (which also
+carries the timing perturbations: t=0 jitter/latency faults are how the
+generator perturbs kernel timing without a second mechanism). Because the
+simulation kernel is deterministic, one spec IS one run: serializing a
+spec to JSON and replaying it later reproduces the identical event
+history, bit for bit. That is the entire basis of the shrinker's replay
+artifacts.
+
+Specs are frozen and canonically serializable (sorted-key JSON), so the
+corpus can dedup by digest and two explorer processes with the same seed
+produce byte-identical corpora.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+
+from repro.chaos.schedule import FaultSchedule
+
+#: Topology preset names a spec may reference (resolved in the runner —
+#: keeping this module import-light).
+TOPOLOGY_NAMES = ("three_city", "two_region")
+
+#: Transaction-management modes a trial can *start* in. DUAL is entered
+#: mid-run by scheduling a ``migration-under-fire`` fault, not statically.
+MODE_NAMES = ("gclock", "gtm")
+
+#: Workload fragments the generator may mix in. ``bank`` is mandatory —
+#: it is the only fragment whose operations are recorded into the history,
+#: and without it the consistency checkers would have nothing to judge.
+FRAGMENT_NAMES = ("bank", "sysbench", "tpcc")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-pinned cluster run."""
+
+    seed: int
+    schedule: FaultSchedule
+    topology: str = "three_city"
+    mode: str = "gclock"
+    duration_s: float = 0.6
+    warmup_s: float = 0.05
+    terminals: int = 4
+    accounts: int = 12
+    fragments: tuple[str, ...] = ("bank",)
+
+    def __post_init__(self):
+        object.__setattr__(self, "fragments", tuple(self.fragments))
+        if self.topology not in TOPOLOGY_NAMES:
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.mode not in MODE_NAMES:
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if "bank" not in self.fragments:
+            raise ValueError("the bank fragment is mandatory (checkers "
+                             "need recorded operations)")
+        for fragment in self.fragments:
+            if fragment not in FRAGMENT_NAMES:
+                raise ValueError(f"unknown fragment {fragment!r}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule.to_dict(),
+            "topology": self.topology,
+            "mode": self.mode,
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "terminals": self.terminals,
+            "accounts": self.accounts,
+            "fragments": list(self.fragments),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialSpec":
+        return cls(seed=data["seed"],
+                   schedule=FaultSchedule.from_dict(data["schedule"]),
+                   topology=data.get("topology", "three_city"),
+                   mode=data.get("mode", "gclock"),
+                   duration_s=data.get("duration_s", 0.6),
+                   warmup_s=data.get("warmup_s", 0.05),
+                   terminals=data.get("terminals", 4),
+                   accounts=data.get("accounts", 12),
+                   fragments=tuple(data.get("fragments", ("bank",))))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TrialSpec":
+        return cls.from_dict(json.loads(payload))
+
+    def digest(self) -> str:
+        """Canonical content hash — the corpus dedup key."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    def with_schedule(self, specs, name: str | None = None) -> "TrialSpec":
+        """A copy with a different fault list (shrinker/mutator helper)."""
+        schedule = FaultSchedule(name or self.schedule.name, tuple(specs))
+        return replace(self, schedule=schedule)
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.schedule.specs)

@@ -42,6 +42,7 @@ from repro.obs.trace import (
     chrome_trace_dict,
     read_jsonl,
     trace_digest,
+    window_categories,
     write_jsonl,
 )
 from repro.obs.timeseries import (
@@ -123,6 +124,7 @@ __all__ = [
     "chrome_trace_dict",
     "read_jsonl",
     "trace_digest",
+    "window_categories",
     "write_jsonl",
     "enable_observability",
     "telemetry_snapshot",

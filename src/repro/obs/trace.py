@@ -248,6 +248,26 @@ def trace_digest(span_dicts: typing.Iterable[dict]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Coverage-signature helpers (used by ``repro.explore``)
+# ----------------------------------------------------------------------
+def window_categories(spans: typing.Iterable, start_ns: int,
+                      end_ns: int) -> list[str]:
+    """Sorted unique span categories intersecting ``[start_ns, end_ns]``.
+
+    Works on live :class:`Span` objects (``tracer.spans``). This is the
+    structural primitive behind the explorer's coverage signature: "which
+    subsystems were active while fault X held" is exactly the set of span
+    categories whose intervals overlap the fault window.
+    """
+    seen = set()
+    for span in spans:
+        span_end = span.end if span.end is not None else span.start
+        if span.start <= end_ns and span_end >= start_ns:
+            seen.add(span.cat)
+    return sorted(seen)
+
+
+# ----------------------------------------------------------------------
 # Trace-file helpers (also used by ``python -m repro.obs``)
 # ----------------------------------------------------------------------
 def write_jsonl(path, span_dicts: typing.Iterable[dict]) -> int:

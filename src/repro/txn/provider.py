@@ -20,10 +20,12 @@ pinned to the mode under which they began; the provider resolves the
 from __future__ import annotations
 
 from repro.clocks.gclock import GClockSource
-from repro.errors import ModeTransitionError, TransactionAborted
+from repro.errors import (ModeTransitionError, NetworkError,
+                          TransactionAborted)
 from repro.obs.metrics import Counter, Histogram
 from repro.sim.core import Environment
 from repro.sim.network import Network
+from repro.sim.units import ms
 from repro.txn.modes import TxnMode
 
 #: Legal mode transitions for a node (same shape as the GTM server's).
@@ -133,6 +135,25 @@ class TimestampProvider:
         self.mode = mode
 
     # ------------------------------------------------------------------
+    def _gtm_request(self, body: tuple):
+        """Generator: one GTM round trip on the transaction path.
+
+        A GTM that cannot be reached (crashed, partitioned) aborts the
+        transaction — clients see a retryable abort, never a raw network
+        error escaping the session layer.
+        """
+        try:
+            reply = yield self.network.request(
+                self.node_name, self.gtm_name, body)
+        except NetworkError as exc:
+            # Back off before surfacing the abort: a down endpoint fails
+            # the request at the same sim instant, and a closed-loop
+            # retrier must not spin without advancing time.
+            yield self.env.sleep(ms(1))
+            raise TransactionAborted(f"gtm unreachable: {exc}") from None
+        return reply
+
+    # ------------------------------------------------------------------
     # Begin
     # ------------------------------------------------------------------
     def begin(self):
@@ -144,16 +165,14 @@ class TimestampProvider:
         mode = self.mode
         if mode is TxnMode.GTM:
             started = self.env.now
-            read_ts = yield self.network.request(
-                self.node_name, self.gtm_name, ("begin",))
+            read_ts = yield from self._gtm_request(("begin",))
             self.stats.note_round_trip()
             self._trace_rpc("begin_rpc", started)
             return read_ts, mode
         if mode is TxnMode.DUAL:
             stamp = self.gclock.timestamp()
             started = self.env.now
-            read_ts = yield self.network.request(
-                self.node_name, self.gtm_name,
+            read_ts = yield from self._gtm_request(
                 ("begin_dual", stamp.ts, stamp.err))
             self.stats.note_round_trip()
             self._trace_rpc("begin_rpc", started)
@@ -191,8 +210,7 @@ class TimestampProvider:
         effective = self._effective_commit_mode(txn_mode)
         if effective is TxnMode.GTM:
             started = self.env.now
-            reply = yield self.network.request(
-                self.node_name, self.gtm_name, ("commit_gtm",))
+            reply = yield from self._gtm_request(("commit_gtm",))
             self.stats.note_round_trip()
             self._trace_rpc("commit_rpc", started, txid=txid)
             if reply[0] == "abort":
@@ -207,8 +225,7 @@ class TimestampProvider:
         if effective is TxnMode.DUAL:
             stamp = self.gclock.timestamp()
             started = self.env.now
-            reply = yield self.network.request(
-                self.node_name, self.gtm_name,
+            reply = yield from self._gtm_request(
                 ("commit_dual", stamp.ts, stamp.err))
             self.stats.note_round_trip()
             self._trace_rpc("commit_rpc", started, txid=txid)

@@ -15,7 +15,8 @@
 """
 
 from repro.workloads.bank import BankConfig, BankWorkload
-from repro.workloads.driver import WorkloadResult, WorkloadStats, run_workload
+from repro.workloads.driver import (MixedWorkload, WorkloadResult,
+                                    WorkloadStats, run_workload)
 from repro.workloads.sysbench import SysbenchConfig, SysbenchWorkload
 from repro.workloads.tpcc import TpccConfig, TpccWorkload
 
@@ -23,6 +24,7 @@ __all__ = [
     "run_workload",
     "WorkloadStats",
     "WorkloadResult",
+    "MixedWorkload",
     "TpccConfig",
     "TpccWorkload",
     "SysbenchConfig",

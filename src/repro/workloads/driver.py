@@ -9,6 +9,7 @@ the metric the paper's figures plot.
 
 from __future__ import annotations
 
+import random
 import typing
 from dataclasses import dataclass, field
 
@@ -132,6 +133,48 @@ class Workload(typing.Protocol):
 
     def transaction(self, cn, terminal_id: int):
         """Generator: run one transaction on ``cn``; returns its type tag."""
+
+
+class MixedWorkload:
+    """Compose workload fragments into one driven mix.
+
+    ``fragments`` is ``[(workload, weight), ...]``; each terminal draws the
+    fragment for its next transaction from its own seeded stream, so one
+    ``(seed, fragments)`` pair yields one deterministic interleaving no
+    matter how many other terminals run. ``setup`` runs every fragment's
+    setup once (fragments own disjoint tables). This is the composable
+    surface :mod:`repro.explore` fuzzes workload mixes through.
+    """
+
+    name = "mixed"
+
+    def __init__(self, fragments: typing.Sequence[tuple[Workload, float]],
+                 seed: int = 0):
+        if not fragments:
+            raise ValueError("MixedWorkload needs at least one fragment")
+        self.fragments = [workload for workload, _weight in fragments]
+        self.weights = [float(weight) for _workload, weight in fragments]
+        if min(self.weights) < 0 or sum(self.weights) <= 0:
+            raise ValueError("fragment weights must be >= 0 and sum > 0")
+        self.seed = seed
+        self._rngs: dict[int, random.Random] = {}
+
+    def _rng(self, terminal_id: int) -> random.Random:
+        rng = self._rngs.get(terminal_id)
+        if rng is None:
+            rng = random.Random(self.seed * 9_000_011 + terminal_id)
+            self._rngs[terminal_id] = rng
+        return rng
+
+    def setup(self, db: "GlobalDB") -> None:
+        for fragment in self.fragments:
+            fragment.setup(db)
+
+    def transaction(self, cn, terminal_id: int):
+        rng = self._rng(terminal_id)
+        fragment = rng.choices(self.fragments, weights=self.weights, k=1)[0]
+        tag = yield from fragment.transaction(cn, terminal_id)
+        return f"{getattr(fragment, 'name', 'frag')}:{tag}"
 
 
 def run_workload(db: "GlobalDB", workload: Workload, terminals: int,

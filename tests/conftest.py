@@ -1,0 +1,30 @@
+"""Shared test configuration: hypothesis profiles.
+
+Property tests run under one of two registered profiles, selected by the
+``HYPOTHESIS_PROFILE`` environment variable (default ``dev``):
+
+- ``ci`` — bounded examples, no deadline (shared runners have noisy
+  clocks and a cold first run pays JIT-less Python warmup), derandomized
+  so two CI runs of the same commit explore the same cases.
+- ``dev`` — a larger example budget and hypothesis's own per-run
+  randomness, for local bug-hunting.
+
+Registration is gated on hypothesis being importable so the non-property
+suite still runs in a minimal environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - property tests skip themselves
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "ci", max_examples=25, deadline=None, derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.register_profile("dev", max_examples=75, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

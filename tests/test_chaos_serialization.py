@@ -1,0 +1,156 @@
+"""Property tests: the chaos schedule codec is total and canonical.
+
+The :mod:`repro.explore` mutation/replay surface serializes fault
+schedules to JSON and back; these properties pin the contract for every
+injector kind the registry knows:
+
+- round-tripping preserves the injector kind and its configuration,
+- the canonical JSON is a fixed point (one pass through the codec makes
+  any float canonical; a second pass is byte-identical),
+- equal schedules hash to equal digests, and renaming changes the digest
+  (the name seeds the chaos randomness, so it is identity-bearing).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.chaos import (
+    INJECTOR_KINDS,
+    FaultSchedule,
+    FaultSpec,
+    injector_from_dict,
+    injector_to_dict,
+)
+from repro.chaos.injectors import (
+    AsymmetricPartition,
+    BandwidthCollapse,
+    ClockDriftBurst,
+    ClockStep,
+    GtmOutage,
+    JitterStorm,
+    LatencySpike,
+    LinkCut,
+    MigrationUnderFire,
+    NodeCrash,
+    RegionPartition,
+    RegionSplit,
+    SyncOutage,
+)
+
+REGIONS = ("xian", "langzhong", "dongguan", "primary", "standby")
+NODES = ("dn0", "dn3", "dn0r1", "dn5r0", "cn-xian-0", "gtms")
+
+regions = st.sampled_from(REGIONS)
+maybe_region = st.one_of(st.none(), regions)
+nodes = st.sampled_from(NODES)
+# Positive magnitudes an operator would plausibly type; the codec must
+# canonicalize them (ns resolution) without losing the configured value.
+magnitudes = st.floats(min_value=0.001, max_value=500.0,
+                       allow_nan=False, allow_infinity=False)
+
+region_pairs = st.tuples(regions, regions).filter(lambda ab: ab[0] != ab[1])
+
+injectors = st.one_of(
+    region_pairs.map(lambda ab: RegionPartition(*ab)),
+    region_pairs.map(lambda ab: AsymmetricPartition(*ab)),
+    regions.map(RegionSplit),
+    regions.map(SyncOutage),
+    st.tuples(nodes, nodes).map(lambda sd: LinkCut(*sd)),
+    st.tuples(magnitudes, maybe_region, maybe_region).map(
+        lambda args: LatencySpike(extra_ms=args[0], region_a=args[1],
+                                  region_b=args[2])),
+    magnitudes.map(lambda value: JitterStorm(jitter_ms=value)),
+    st.floats(min_value=1.5, max_value=1000.0).map(
+        lambda value: BandwidthCollapse(factor=value)),
+    st.tuples(st.sampled_from(("primary", "replica", "cn")),
+              st.one_of(st.none(), nodes)).map(
+        lambda args: NodeCrash(args[0], node=args[1])),
+    st.tuples(regions, st.floats(min_value=1.1, max_value=50.0)).map(
+        lambda args: ClockDriftBurst(args[0], factor=args[1])),
+    st.tuples(magnitudes, maybe_region).map(
+        lambda args: ClockStep(step_us=args[0], region=args[1])),
+    st.just(GtmOutage()),
+    st.just(MigrationUnderFire()),
+)
+
+
+@st.composite
+def fault_specs(draw):
+    injector = draw(injectors)
+    at_s = round(draw(st.floats(min_value=0.0, max_value=10.0)), 3)
+    duration_s = round(draw(st.floats(min_value=0.0, max_value=2.0)), 3)
+    if draw(st.booleans()) and duration_s >= 0:
+        every_s = round(duration_s + draw(
+            st.floats(min_value=0.05, max_value=2.0)), 3)
+        return FaultSpec(injector, at_s=at_s, duration_s=duration_s,
+                         every_s=every_s,
+                         repeat=draw(st.integers(min_value=1, max_value=5)))
+    return FaultSpec(injector, at_s=at_s, duration_s=duration_s)
+
+
+schedules = st.builds(
+    FaultSchedule,
+    name=st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                 min_size=1, max_size=20),
+    specs=st.lists(fault_specs(), max_size=6).map(tuple),
+)
+
+
+@given(injectors)
+def test_injector_roundtrip_preserves_kind_and_config(injector):
+    data = injector_to_dict(injector)
+    rebuilt = injector_from_dict(data)
+    assert type(rebuilt) is type(injector)
+    assert rebuilt.name == injector.name
+    # One pass canonicalizes (ns-resolution rounding); the second is exact.
+    assert injector_to_dict(rebuilt) == injector_to_dict(
+        injector_from_dict(injector_to_dict(rebuilt)))
+
+
+@given(fault_specs())
+def test_fault_spec_roundtrip(spec):
+    rebuilt = FaultSpec.from_dict(spec.to_dict())
+    assert rebuilt.at_s == spec.at_s
+    assert rebuilt.duration_s == spec.duration_s
+    assert rebuilt.every_s == spec.every_s
+    assert rebuilt.repeat == spec.repeat
+    assert type(rebuilt.injector) is type(spec.injector)
+
+
+@given(schedules)
+def test_schedule_json_is_a_fixed_point(schedule):
+    once = FaultSchedule.from_json(schedule.to_json())
+    twice = FaultSchedule.from_json(once.to_json())
+    assert once.to_json() == twice.to_json()
+    assert once.digest() == twice.digest()
+    assert once.name == schedule.name
+    assert len(once.specs) == len(schedule.specs)
+
+
+@given(schedules)
+def test_schedule_rename_changes_digest(schedule):
+    renamed = FaultSchedule(schedule.name + "x", schedule.specs)
+    assert renamed.digest() != schedule.digest()
+
+
+def test_every_registered_kind_is_constructible_from_empty_params():
+    # The registry is the codec's domain: every kind must at least accept
+    # its own params() output (defaults included).
+    for kind, cls in sorted(INJECTOR_KINDS.items()):
+        instance = (cls("xian", "dongguan") if kind in
+                    ("region-partition", "asymmetric-partition")
+                    else cls("xian", "dongguan") if kind == "link-cut"
+                    else cls("xian") if kind in ("region-split",
+                                                 "sync-outage",
+                                                 "clock-drift-burst")
+                    else cls())
+        rebuilt = injector_from_dict(injector_to_dict(instance))
+        assert rebuilt.name == kind
+
+
+def test_unknown_kind_raises():
+    with pytest.raises((ValueError, KeyError)):
+        injector_from_dict({"kind": "disk-on-fire", "params": {}})

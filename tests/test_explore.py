@@ -1,0 +1,200 @@
+"""The fuzzer's own acceptance tests: determinism, discovery, replay.
+
+Three claims make :mod:`repro.explore` trustworthy, and each is asserted
+here rather than documented:
+
+1. **Determinism** — a campaign is a pure function of its seed: identical
+   corpus, coverage digest and summary across runs, across processes,
+   and across ``PYTHONHASHSEED`` values (subprocess test).
+2. **Discovery** — with the historical RCP-gap bug re-introduced
+   (``inject_bug="rcp-gap"``), a campaign seeded with a shard-targeted
+   crash storm finds the violation and ddmin-shrinks it to the minimal
+   trigger (≤ 3 faults: stall a replica, kill its peer, kill the
+   primary).
+3. **Replay** — the emitted artifact reproduces the identical violation
+   digest, and a tampered artifact is rejected (exit 2).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.chaos.injectors import JitterStorm, LatencySpike
+from repro.chaos.schedule import FaultSchedule, FaultSpec
+from repro.explore import (
+    Corpus,
+    ExploreConfig,
+    ExploreEngine,
+    TrialGenerator,
+    TrialSpec,
+    derive_rng,
+    replay_artifact,
+    run_trial,
+)
+from repro.explore.coverage import log2_bucket
+from repro.explore.__main__ import main as explore_main
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+# ----------------------------------------------------------------------
+# Building blocks
+# ----------------------------------------------------------------------
+def test_log2_bucket():
+    assert [log2_bucket(n) for n in (0, 1, 2, 3, 4, 7, 8, 100)] == \
+        ["0", "1", "2", "2", "4", "4", "8", "64"]
+
+
+def test_trial_spec_validation():
+    schedule = FaultSchedule("s", ())
+    with pytest.raises(ValueError):
+        TrialSpec(seed=0, schedule=schedule, topology="moon-base")
+    with pytest.raises(ValueError):
+        TrialSpec(seed=0, schedule=schedule, mode="vector-clock")
+    with pytest.raises(ValueError):
+        TrialSpec(seed=0, schedule=schedule, fragments=("sysbench",))
+
+
+def test_generator_emits_valid_specs():
+    generator = TrialGenerator()
+    for index in range(30):
+        rng = derive_rng(7, f"gen:{index}")
+        spec = generator.fresh(rng, index)
+        assert 1 <= spec.fault_count <= 8
+        assert spec.schedule.name == f"explore-{index}"
+        # Serializable and canonical.
+        assert TrialSpec.from_json(spec.to_json()).digest() == spec.digest()
+        mutated = generator.mutate(rng, spec, index + 1000)
+        assert mutated.schedule.name == f"explore-{index + 1000}"
+        assert TrialSpec.from_json(mutated.to_json()).digest() == \
+            mutated.digest()
+
+
+def test_corpus_admission_is_coverage_driven():
+    corpus = Corpus()
+    schedule = FaultSchedule("c", ())
+    spec_a = TrialSpec(seed=1, schedule=schedule)
+    spec_b = TrialSpec(seed=2, schedule=schedule)
+    spec_c = TrialSpec(seed=3, schedule=schedule)
+    assert corpus.consider(spec_a, ("x", "y")) == ("x", "y")
+    assert corpus.consider(spec_b, ("x",)) == ()     # nothing new
+    assert corpus.consider(spec_c, ("x", "z")) == ("z",)
+    assert len(corpus) == 2
+    assert corpus.coverage == {"x", "y", "z"}
+
+
+def test_derive_rng_is_stable_and_label_sensitive():
+    assert derive_rng(5, "a").random() == derive_rng(5, "a").random()
+    assert derive_rng(5, "a").random() != derive_rng(5, "b").random()
+    assert derive_rng(5, "a").random() != derive_rng(6, "a").random()
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_campaign_is_deterministic_in_process():
+    def campaign():
+        engine = ExploreEngine(ExploreConfig(seed=3, budget_trials=3))
+        summary = engine.run()
+        return summary, engine.corpus.to_json()
+
+    first, first_corpus = campaign()
+    again, again_corpus = campaign()
+    assert first == again
+    assert first_corpus == again_corpus
+    assert first["trials_run"] == 3
+
+
+@pytest.mark.slow
+def test_campaign_is_hashseed_independent(tmp_path):
+    """Same seed, different PYTHONHASHSEED → byte-identical outputs."""
+    outputs = []
+    for hashseed in ("1", "4242"):
+        out = tmp_path / f"out-{hashseed}"
+        env = dict(os.environ, PYTHONHASHSEED=hashseed,
+                   PYTHONPATH=REPO_SRC)
+        subprocess.run(
+            [sys.executable, "-m", "repro.explore", "run",
+             "--budget-trials", "3", "--seed", "0", "--out", str(out)],
+            check=True, env=env, capture_output=True)
+        outputs.append(((out / "summary.json").read_text(),
+                        (out / "corpus.json").read_text()))
+    assert outputs[0] == outputs[1]
+
+
+# ----------------------------------------------------------------------
+# Known-bug discovery + shrinking + replay
+# ----------------------------------------------------------------------
+def _planted_spec() -> TrialSpec:
+    """A shard-targeted crash storm plus ambient noise — the kind of
+    schedule the generator emits organically (15% of fresh specs); the
+    test plants it so the discovery budget stays small."""
+    generator = TrialGenerator()
+    rng = derive_rng(0, "planted")
+    core = generator.stale_failover_pattern(rng)
+    noise = [FaultSpec(JitterStorm(jitter_ms=2.0), at_s=0.05,
+                       duration_s=0.3),
+             FaultSpec(LatencySpike(extra_ms=10.0), at_s=0.3,
+                       duration_s=0.2)]
+    return TrialSpec(seed=11,
+                     schedule=FaultSchedule("planted",
+                                            tuple(core + noise)))
+
+
+def test_rcp_gap_bug_is_found_shrunk_and_replayable():
+    planted = _planted_spec()
+    assert planted.fault_count >= 5
+    # Sanity: the same schedule is clean when the guard (the fix) is on.
+    assert run_trial(planted).ok
+
+    engine = ExploreEngine(
+        ExploreConfig(seed=0, budget_trials=5, inject_bug="rcp-gap"),
+        initial_specs=[planted])
+    summary = engine.run()
+
+    assert summary["ok"] is False
+    assert "ror-promotion-gap" in summary["violation_kinds"]
+    # ddmin reduced the storm to its minimal trigger.
+    assert engine.shrunk is not None
+    assert engine.shrunk.final_faults <= 3
+    # The artifact replays to the identical violation digest.
+    assert engine.artifact is not None
+    reproduced, result = replay_artifact(engine.artifact)
+    assert reproduced
+    assert result.violation_digest == summary["violation_digest"]
+    # And the minimized reproducer is clean once the bug is fixed
+    # (guard back on): the artifact pins the bug, not the schedule.
+    fixed = run_trial(engine.shrunk.spec)
+    assert fixed.ok
+
+
+def test_replay_rejects_tampered_artifact(tmp_path):
+    planted = _planted_spec()
+    engine = ExploreEngine(
+        ExploreConfig(seed=0, budget_trials=1, inject_bug="rcp-gap",
+                      shrink_max_trials=0),
+        initial_specs=[planted])
+    engine.run()
+    assert engine.artifact is not None
+    artifact = dict(engine.artifact, violation_digest="0" * 64)
+    path = tmp_path / "tampered.json"
+    path.write_text(json.dumps(artifact))
+    assert explore_main(["replay", str(path)]) == 2
+
+
+def test_cli_run_writes_corpus_and_summary(tmp_path, capsys):
+    out = tmp_path / "campaign"
+    code = explore_main(["run", "--budget-trials", "2", "--seed", "1",
+                         "--out", str(out), "--fail-on-violation"])
+    assert code == 0
+    summary = json.loads((out / "summary.json").read_text())
+    assert summary["trials_run"] == 2
+    assert summary["coverage_elements"] > 0
+    corpus = json.loads((out / "corpus.json").read_text())
+    assert corpus["coverage_digest"] == summary["coverage_digest"]
+    capsys.readouterr()
